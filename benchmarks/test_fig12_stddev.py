@@ -1,0 +1,75 @@
+"""Figure 12: standard deviation of write throughput across the 8 nodes (a)
+and the 512 shards (b), vs skewness factor θ.
+
+Paper shape: at θ ∈ {0, 0.5} the three policies differ only slightly; as θ
+grows, hashing's stddev explodes while dynamic secondary hashing stays far
+lower — slightly above double hashing, which is the uniform optimum.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import SIM, fmt, make_policies, print_table, workload
+from repro.sim import run_policy_comparison
+from repro.workload import StaticScenario
+
+THETAS = (0.0, 0.5, 1.0, 1.5, 2.0)
+RATE = 160_000
+DURATION = 90.0
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return {
+        theta: run_policy_comparison(
+            make_policies(),
+            lambda: StaticScenario(rate=RATE, duration=DURATION),
+            config=SIM,
+            workload=workload(theta),
+        )
+        for theta in THETAS
+    }
+
+
+def test_fig12a_node_throughput_stddev(benchmark, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    names = list(make_policies())
+    rows = [
+        (theta, *(fmt(sweep[theta][n].node_throughput_std, 0) for n in names))
+        for theta in THETAS
+    ]
+    print_table("Figure 12a: stddev of per-node write throughput vs θ",
+                ["theta"] + names, rows)
+
+    # Low θ: all policies comparable (within one order of magnitude).
+    low = [sweep[0.0][n].node_throughput_std for n in names]
+    assert max(low) < RATE * 0.05
+    # High θ: hashing's imbalance dominates.
+    for theta in (1.5, 2.0):
+        hash_std = sweep[theta]["hashing"].node_throughput_std
+        dyn_std = sweep[theta]["dynamic-secondary-hashing"].node_throughput_std
+        dbl_std = sweep[theta]["double-hashing"].node_throughput_std
+        assert hash_std > dyn_std * 3, theta
+        assert dyn_std >= dbl_std * 0.5, theta  # dynamic close to optimum
+
+
+def test_fig12b_shard_throughput_stddev(sweep, benchmark):
+    benchmark(lambda: None)
+    names = list(make_policies())
+    rows = [
+        (theta, *(fmt(sweep[theta][n].shard_throughput_std, 1) for n in names))
+        for theta in THETAS
+    ]
+    print_table("Figure 12b: stddev of per-shard write throughput vs θ",
+                ["theta"] + names, rows)
+
+    for theta in (1.0, 1.5, 2.0):
+        hash_std = sweep[theta]["hashing"].shard_throughput_std
+        dyn_std = sweep[theta]["dynamic-secondary-hashing"].shard_throughput_std
+        assert hash_std > dyn_std, theta
+    # Stddev of hashing grows with θ (more skew, more shard imbalance).
+    assert (
+        sweep[2.0]["hashing"].shard_throughput_std
+        > sweep[0.5]["hashing"].shard_throughput_std
+    )

@@ -1,0 +1,95 @@
+"""Figure 13: per-node throughput + CPU usage under each routing policy
+(a–c) and normalized shard sizes (d), at θ = 1.
+
+Paper shape: with hashing, the hotspot's primary/replica node pair runs at
+full capacity while the rest idle; with dynamic secondary hashing every node
+participates (CPU ≈ 85% there). Shard sizes: hashing ≈ Zipf with a
+largest/smallest ratio >100x; dynamic ≈ 16x; double hashing ≈ 13x (most
+uniform).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SIM, fmt, make_policies, print_table, workload
+from repro.sim import run_policy_comparison
+from repro.workload import StaticScenario
+
+RATE = 160_000
+DURATION = 120.0
+THETA = 1.0
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_policy_comparison(
+        make_policies(),
+        lambda: StaticScenario(rate=RATE, duration=DURATION),
+        config=SIM,
+        workload=workload(THETA),
+    )
+
+
+def test_fig13abc_per_node_throughput_and_cpu(benchmark, reports):
+    benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    for name, report in reports.items():
+        rows = [
+            (
+                f"node-{i}",
+                fmt(report.node_throughput[i], 0),
+                f"{report.node_cpu[i] * 100:.0f}%",
+            )
+            for i in range(SIM.num_nodes)
+        ]
+        print_table(
+            f"Figure 13 ({name}): per-node throughput (TPS) and CPU usage",
+            ["node", "throughput", "cpu"],
+            rows,
+        )
+
+    hash_cpu = reports["hashing"].node_cpu
+    dyn_cpu = reports["dynamic-secondary-hashing"].node_cpu
+
+    # Hashing: busiest node saturated, several nodes nearly idle relative to it.
+    assert hash_cpu.max() > 0.9
+    assert hash_cpu.min() < hash_cpu.max() * 0.75
+    # Dynamic: all nodes participate at high, even utilization.
+    assert dyn_cpu.min() > 0.5
+    assert dyn_cpu.max() - dyn_cpu.min() < 0.3
+    # Dynamic spreads throughput: min-node throughput far above hashing's.
+    assert (
+        reports["dynamic-secondary-hashing"].node_throughput.min()
+        > reports["hashing"].node_throughput.min()
+    )
+
+
+def test_fig13d_normalized_shard_sizes(reports, benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for name, report in reports.items():
+        sizes = report.normalized_shard_sizes()
+        rows.append(
+            (
+                name,
+                fmt(report.shard_size_ratio, 1),
+                fmt(float(np.median(sizes)), 1),
+                len(sizes),
+            )
+        )
+    print_table(
+        "Figure 13d: normalized shard sizes (max/min ratio, median, non-empty shards)",
+        ["policy", "max/min", "median", "shards"],
+        rows,
+    )
+
+    # Ordering of imbalance: hashing >> dynamic >= double (paper: >100x, 16x, 13x).
+    assert reports["hashing"].shard_size_ratio > 50
+    assert reports["dynamic-secondary-hashing"].shard_size_ratio < (
+        reports["hashing"].shard_size_ratio / 2
+    )
+    assert (
+        reports["double-hashing"].shard_size_ratio
+        <= reports["dynamic-secondary-hashing"].shard_size_ratio * 1.5
+    )

@@ -1,0 +1,83 @@
+"""Single's Day: simulate the midnight spike under all three routing policies.
+
+Reproduces the paper's headline story (Figures 14 and 19) at laptop scale:
+a 10x workload spike with a brand-new hotspot group hits at midnight.
+Hashing collapses and never recovers; double hashing is immune but pays
+8 subqueries on every future read; dynamic secondary hashing dips, commits
+new secondary-hashing rules through consensus, and digests the backlog.
+
+Run:  python examples/singles_day_simulation.py
+"""
+
+from repro.routing import DoubleHashRouting, DynamicSecondaryHashRouting, HashRouting
+from repro.sim import SimulationConfig, WriteSimulation
+from repro.workload import SinglesDayScenario, WorkloadConfig
+
+CONFIG = SimulationConfig(sample_per_tick=800, balance_window=10.0, consensus_interval=5.0)
+SPIKE_TIME = 120.0
+DURATION = 600.0
+
+
+def make_scenario() -> SinglesDayScenario:
+    return SinglesDayScenario(
+        baseline_rate=40_000,
+        duration=DURATION,
+        spike_time=SPIKE_TIME,
+        spike_factor=10.0,
+        decay_seconds=90.0,
+        plateau_factor=3.0,
+        hotspot_shift=1500,
+    )
+
+
+def main() -> None:
+    policies = {
+        "hashing": HashRouting(CONFIG.num_shards),
+        "double hashing": DoubleHashRouting(CONFIG.num_shards, offset=8),
+        "dynamic secondary hashing": DynamicSecondaryHashRouting(CONFIG.num_shards),
+    }
+    simulations = {}
+    for name, policy in policies.items():
+        print(f"simulating {name} ...")
+        sim = WriteSimulation(
+            policy,
+            make_scenario(),
+            config=CONFIG,
+            workload=WorkloadConfig(num_tenants=50_000, theta=1.0, seed=0),
+        )
+        sim.run()
+        simulations[name] = sim
+
+    print(f"\n{'time':>8}", *(f"{name:>28}" for name in simulations))
+    checkpoints = [60, 130, 180, 300, 450, 590]
+    for t in checkpoints:
+        tag = f"{t - int(SPIKE_TIME):+d}s"
+        row = [f"{tag:>8}"]
+        for sim in simulations.values():
+            series = dict(sim.metrics.throughput_series())
+            delays = dict(sim.metrics.max_delay_series())
+            row.append(f"{series[float(t)]:>12,.0f} tps {delays[float(t)]:>7.1f}s")
+        print(*row)
+
+    dyn = simulations["dynamic secondary hashing"]
+    print(f"\nsecondary hashing rules committed: {len(dyn.rule_commits)}")
+    for effective, tenant, offset in dyn.rule_commits[:8]:
+        print(f"  t={effective:7.1f}s  tenant={tenant!r:>8}  offset={offset}")
+    if len(dyn.rule_commits) > 8:
+        print(f"  ... and {len(dyn.rule_commits) - 8} more")
+
+    tail = {
+        name: dict(sim.metrics.max_delay_series())[DURATION - 10.0]
+        for name, sim in simulations.items()
+    }
+    print("\nmax write delay ten seconds before the end of the run:")
+    for name, delay in tail.items():
+        print(f"  {name:>28}: {delay:7.1f}s")
+    print(
+        "\nThe adaptive policy digests the spike (like ESDB's <7 minutes on "
+        "Single's Day 2021); plain hashing is still buried in backlog."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy setup shim: enables `pip install -e .` on environments without the
+`wheel` package (offline PEP 517 editable builds need it; setup.py develop
+does not)."""
+
+from setuptools import setup
+
+setup()

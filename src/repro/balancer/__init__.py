@@ -1,0 +1,18 @@
+"""ESDB's load balancer: workload monitoring + Algorithm 1.
+
+The balancer watches per-tenant write throughput (and, at initialization,
+storage share), detects hotspots, computes a power-of-two secondary-hashing
+offset per hot tenant, and proposes the resulting rules — via the consensus
+layer — for inclusion in the cluster-wide :class:`~repro.routing.RuleList`.
+"""
+
+from repro.balancer.balancer import BalancerConfig, LoadBalancer, compute_offset_size
+from repro.balancer.monitor import TenantStats, WorkloadMonitor
+
+__all__ = [
+    "WorkloadMonitor",
+    "TenantStats",
+    "LoadBalancer",
+    "BalancerConfig",
+    "compute_offset_size",
+]

@@ -1,0 +1,166 @@
+"""The ESDB load balancer (Algorithm 1 of the paper).
+
+Two phases:
+
+* **Initialization** — offsets are derived from each tenant's *storage*
+  share, on the assumption that tenants holding more data will receive more
+  writes. Most tenants get ``s = 1`` (single shard) to keep queries cheap.
+* **Runtime** — each reporting period, tenants whose *write-throughput*
+  share crosses the hotspot threshold get a (larger) offset. Offsets are
+  powers of two, which bounds the number of distinct rules and keeps rule
+  matching fast.
+
+The balancer itself never mutates the routing table directly: it emits
+proposed rules, and the caller commits them through the consensus protocol
+(or directly in single-process tests via :meth:`LoadBalancer.commit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.balancer.monitor import WorkloadMonitor
+from repro.errors import ConfigurationError
+from repro.routing.rules import RuleList
+
+
+def compute_offset_size(share: float, num_shards: int, target_share_per_shard: float) -> int:
+    """Return the power-of-two offset ``s`` for a tenant with write/storage
+    *share* (``ComputeOffsetSize`` of Algorithm 1).
+
+    The intent is that after splitting, each of the tenant's ``s`` shards
+    carries at most ``target_share_per_shard`` of the total workload:
+    ``s = 2^ceil(log2(share / target))``, clamped to ``[1, num_shards]`` and
+    rounded to a power of two so the rule list stays small (§4.2).
+    """
+    if not 0.0 <= share <= 1.0:
+        raise ConfigurationError(f"share must be in [0, 1], got {share}")
+    if target_share_per_shard <= 0:
+        raise ConfigurationError("target_share_per_shard must be positive")
+    s = 1
+    while share / s > target_share_per_shard and s < num_shards:
+        s *= 2
+    return min(s, num_shards)
+
+
+@dataclass(frozen=True)
+class BalancerConfig:
+    """Tuning knobs for the load balancer.
+
+    Attributes:
+        hotspot_share: minimum write-throughput share for a tenant to be
+            treated as a hotspot at runtime (``CheckHotSpot``).
+        target_share_per_shard: desired per-shard share after splitting;
+            drives ``ComputeOffsetSize``.
+        init_storage_share: minimum storage share for a tenant to receive
+            ``s > 1`` during initialization.
+        max_offset: cap on ``s`` (defaults to the double-hashing upper bound
+            used in the paper's cluster, one full node's worth of shards).
+    """
+
+    hotspot_share: float = 0.01
+    target_share_per_shard: float = 0.004
+    init_storage_share: float = 0.01
+    max_offset: int | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.hotspot_share <= 1:
+            raise ConfigurationError("hotspot_share must be in (0, 1]")
+        if not 0 < self.init_storage_share <= 1:
+            raise ConfigurationError("init_storage_share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class ProposedRule:
+    """A rule the balancer wants committed: tenant *k* adopts offset *s*
+    from effective time *t* (decided later by the consensus master)."""
+
+    tenant_id: object
+    offset: int
+
+
+class LoadBalancer:
+    """Implements Algorithm 1 against a :class:`WorkloadMonitor`.
+
+    The balancer remembers the offset already granted to each tenant and only
+    proposes a rule when the newly computed offset is *larger* — offsets never
+    shrink, matching the append-only rule list (historical records must stay
+    reachable).
+    """
+
+    def __init__(
+        self,
+        monitor: WorkloadMonitor,
+        num_shards: int,
+        config: BalancerConfig | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError("num_shards must be >= 1")
+        self.monitor = monitor
+        self.num_shards = num_shards
+        self.config = config or BalancerConfig()
+        self._granted: dict[object, int] = {}
+
+    @property
+    def _offset_cap(self) -> int:
+        cap = self.config.max_offset or self.num_shards
+        return min(cap, self.num_shards)
+
+    def granted_offset(self, tenant_id: object) -> int:
+        """Return the offset most recently granted to *tenant_id* (1 if none)."""
+        return self._granted.get(tenant_id, 1)
+
+    def _compute(self, share: float) -> int:
+        s = compute_offset_size(share, self.num_shards, self.config.target_share_per_shard)
+        return min(s, self._offset_cap)
+
+    def initialize(self) -> list[ProposedRule]:
+        """Initialization phase (Algorithm 1, lines 5–10): derive offsets from
+        storage shares. Returns the proposed rules (possibly empty)."""
+        proposals = []
+        for tenant, share in self.monitor.storage_shares().items():
+            if share < self.config.init_storage_share:
+                continue  # small tenants stay on a single shard (s = 1)
+            offset = self._compute(share)
+            if offset > self.granted_offset(tenant):
+                self._granted[tenant] = offset
+                proposals.append(ProposedRule(tenant, offset))
+        return proposals
+
+    def check_hotspot(self, share: float) -> bool:
+        """``CheckHotSpot`` (Algorithm 1, line 16)."""
+        return share >= self.config.hotspot_share
+
+    def rebalance(self) -> list[ProposedRule]:
+        """Runtime phase (Algorithm 1, lines 11–21): propose larger offsets
+        for tenants whose current write share marks them as hotspots."""
+        proposals = []
+        for tenant, share in self.monitor.shares().items():
+            if not self.check_hotspot(share):
+                continue
+            offset = self._compute(share)
+            if offset > self.granted_offset(tenant):
+                self._granted[tenant] = offset
+                proposals.append(ProposedRule(tenant, offset))
+        return proposals
+
+    def retract(self, proposal: ProposedRule) -> None:
+        """Forget a proposal whose consensus round aborted.
+
+        The tenant's granted offset is dropped so the next reporting window
+        re-proposes it; re-proposing an offset that did commit elsewhere is
+        harmless because equal ``(t, s)`` rules merge in the rule list.
+        """
+        if self._granted.get(proposal.tenant_id) == proposal.offset:
+            del self._granted[proposal.tenant_id]
+
+    @staticmethod
+    def commit(rules: RuleList, proposals: list[ProposedRule], effective_time: float) -> None:
+        """Commit *proposals* straight into *rules* at *effective_time*.
+
+        Single-process shortcut used by tests and the simulator's
+        zero-failure path; the distributed path goes through
+        :mod:`repro.consensus` instead.
+        """
+        for proposal in proposals:
+            rules.update(effective_time, proposal.offset, proposal.tenant_id)

@@ -1,0 +1,120 @@
+"""Workload monitor: windowed per-tenant write-throughput statistics (§3.2).
+
+The monitor is the control-layer component that "collects metrics for
+workload balancing": every write is recorded against its tenant, and at the
+end of each reporting period the balancer pulls a per-tenant throughput
+snapshot. Storage per tenant is tracked cumulatively for the initialization
+phase of Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class TenantStats:
+    """A point-in-time view of one tenant's load.
+
+    Attributes:
+        tenant_id: tenant identifier.
+        writes: writes observed in the last closed window.
+        share: this tenant's fraction of the window's total writes
+            (the ``r`` of Algorithm 1, line 15).
+        storage: cumulative records stored for this tenant.
+    """
+
+    tenant_id: object
+    writes: int
+    share: float
+    storage: int
+
+
+@dataclass
+class WorkloadMonitor:
+    """Collects per-tenant write counts in fixed windows.
+
+    The monitor is deliberately simple — Alibaba's production monitor reports
+    periodic throughput proportions, and that is exactly the interface
+    Algorithm 1 consumes (``T(K)`` at line 13, ``S(K)`` at line 5).
+
+    Args:
+        window_seconds: length of one reporting window.
+    """
+
+    window_seconds: float = 10.0
+    _current: Counter = field(default_factory=Counter, repr=False)
+    _storage: Counter = field(default_factory=Counter, repr=False)
+    _window_start: float = 0.0
+    _last_window: Counter = field(default_factory=Counter, repr=False)
+    _last_window_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ConfigurationError("window_seconds must be positive")
+
+    def record_write(self, tenant_id: object, now: float, count: int = 1) -> None:
+        """Record *count* writes for *tenant_id* at time *now*.
+
+        Rolls the window automatically when *now* passes the window boundary.
+        """
+        if now - self._window_start >= self.window_seconds:
+            self.roll_window(now)
+        self._current[tenant_id] += count
+        self._storage[tenant_id] += count
+
+    def roll_window(self, now: float) -> None:
+        """Close the current window, making it available to :meth:`throughput`."""
+        elapsed = max(now - self._window_start, 1e-9)
+        self._last_window = self._current
+        self._last_window_seconds = min(elapsed, self.window_seconds) or self.window_seconds
+        self._current = Counter()
+        self._window_start = now
+
+    def throughput(self) -> dict:
+        """Return {tenant_id: writes/sec} for the last closed window."""
+        if not self._last_window:
+            return {}
+        seconds = self._last_window_seconds or self.window_seconds
+        return {k: v / seconds for k, v in self._last_window.items()}
+
+    def shares(self) -> dict:
+        """Return {tenant_id: fraction of window writes} — ``r`` in Algorithm 1."""
+        total = sum(self._last_window.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self._last_window.items()}
+
+    def storage(self) -> dict:
+        """Return {tenant_id: cumulative records stored} — ``S(K)``."""
+        return dict(self._storage)
+
+    def storage_shares(self) -> dict:
+        """Return {tenant_id: fraction of total storage}."""
+        total = sum(self._storage.values())
+        if total == 0:
+            return {}
+        return {k: v / total for k, v in self._storage.items()}
+
+    def seed_storage(self, storage: dict) -> None:
+        """Preload cumulative storage (used when attaching the monitor to an
+        existing cluster whose shards already hold data)."""
+        self._storage = Counter(storage)
+
+    def stats(self) -> list[TenantStats]:
+        """Return a combined snapshot sorted by descending write share."""
+        shares = self.shares()
+        out = [
+            TenantStats(
+                tenant_id=tenant,
+                writes=self._last_window[tenant],
+                share=share,
+                storage=self._storage.get(tenant, 0),
+            )
+            for tenant, share in shares.items()
+        ]
+        out.sort(key=lambda s: s.share, reverse=True)
+        return out

@@ -1,0 +1,56 @@
+"""The rule-aware query client.
+
+Resolves a tenant's consecutive shard range from the committed secondary
+hashing rules and fans the query out to exactly those shards — one subquery
+per shard, aggregated by the coordinator. The subquery count is the
+fan-out cost Figure 16 measures: 1 for hashing/small tenants, the static
+``s`` for double hashing, ``L(k1)`` for dynamic secondary hashing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.query.aggregator import QueryResult, ResultAggregator
+from repro.query.ast import OrderBy
+from repro.routing import RoutingPolicy, ShardRange
+
+
+class QueryClient:
+    """Fans tenant-scoped queries out to the shards that may hold the data.
+
+    ``run_subquery(shard_id) -> list[dict]`` is supplied by the caller
+    (facade, simulator, or test double), keeping the client transport-free.
+    """
+
+    def __init__(self, policy: RoutingPolicy,
+                 run_subquery: Callable[[int], list]) -> None:
+        self.policy = policy
+        self.run_subquery = run_subquery
+        self.stats = {"queries": 0, "subqueries": 0}
+
+    def shard_range(self, tenant_id: object) -> ShardRange:
+        """The consecutive shards a query for *tenant_id* must touch."""
+        return self.policy.query_shards(tenant_id)
+
+    def query(
+        self,
+        tenant_id: object,
+        columns: tuple = ("*",),
+        order_by: OrderBy | None = None,
+        limit: int | None = None,
+    ) -> QueryResult:
+        """Execute one tenant query: subquery per shard, then aggregate."""
+        shards = self.shard_range(tenant_id)
+        aggregator = ResultAggregator(columns=columns, order_by=order_by, limit=limit)
+        result = aggregator.aggregate(self.run_subquery(s) for s in shards)
+        self.stats["queries"] += 1
+        self.stats["subqueries"] += result.subqueries
+        return result
+
+    @property
+    def avg_fanout(self) -> float:
+        """Average subqueries per query issued so far."""
+        if self.stats["queries"] == 0:
+            return 0.0
+        return self.stats["subqueries"] / self.stats["queries"]

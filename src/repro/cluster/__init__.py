@@ -1,0 +1,13 @@
+"""Cluster substrate: nodes, shards, replicas, allocation, master election.
+
+A shared-nothing topology matching the paper's testbed: shards and their
+replicas are spread over worker nodes with the invariant that a replica never
+lands on its primary's node (the paper observes neighbouring nodes carrying
+a hotspot's primary and replica at equal load — Figure 13).
+"""
+
+from repro.cluster.cluster import Cluster, ClusterTopology
+from repro.cluster.node import Node, NodeRole
+from repro.cluster.shard import Replica, Shard
+
+__all__ = ["Cluster", "ClusterTopology", "Node", "NodeRole", "Shard", "Replica"]

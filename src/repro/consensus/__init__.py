@@ -1,0 +1,37 @@
+"""Secondary-hashing-rule consensus (§4.3).
+
+ESDB replaces heavyweight consensus with a 2PC variant inspired by Spanner's
+commit wait: the rule list is append-only and each rule carries an effective
+time chosen in the future (``t = now + T``), so the cluster only needs a
+commit/abort decision per rule, never an ordering decision. Participants
+verify that all locally executed records were created before ``t``, block
+workloads newer than ``t`` during the window, and unblock at commit.
+"""
+
+from repro.consensus.messages import (
+    AckMessage,
+    CommitMessage,
+    PrepareMessage,
+    PrepareReply,
+    RuleProposal,
+)
+from repro.consensus.protocol import (
+    ClockModel,
+    ConsensusConfig,
+    ConsensusMaster,
+    Participant,
+    RoundOutcome,
+)
+
+__all__ = [
+    "RuleProposal",
+    "PrepareMessage",
+    "PrepareReply",
+    "CommitMessage",
+    "AckMessage",
+    "ClockModel",
+    "ConsensusConfig",
+    "ConsensusMaster",
+    "Participant",
+    "RoundOutcome",
+]

@@ -1,0 +1,57 @@
+"""Message types exchanged by the rule-consensus protocol (Figure 5)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuleProposal:
+    """A coordinator's request to commit a new secondary hashing rule."""
+
+    proposer: str
+    tenant_id: object
+    offset: int
+
+
+@dataclass(frozen=True)
+class PrepareMessage:
+    """Master → participants: proposal plus the chosen effective time
+    ``t = timer.now() + T``."""
+
+    round_id: int
+    proposal: RuleProposal
+    effective_time: float
+
+
+@dataclass(frozen=True)
+class PrepareReply:
+    """Participant → master: acceptance or error.
+
+    A participant accepts only if every record it has already executed was
+    created before the effective time; on acceptance it blocks workloads
+    whose creation time is later than the effective time.
+    """
+
+    round_id: int
+    participant: str
+    accepted: bool
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class CommitMessage:
+    """Master → participants: commit (or abort) the proposed rule."""
+
+    round_id: int
+    commit: bool
+    proposal: RuleProposal
+    effective_time: float
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """Participant → master: rule applied locally, workload block lifted."""
+
+    round_id: int
+    participant: str

@@ -1,0 +1,76 @@
+"""Exception hierarchy shared across the ESDB reproduction.
+
+Every error raised by this library derives from :class:`EsdbError` so that
+callers can catch one base class at API boundaries while the tests can still
+assert on precise failure modes.
+"""
+
+from __future__ import annotations
+
+
+class EsdbError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(EsdbError):
+    """A component was constructed with invalid parameters."""
+
+
+class RoutingError(EsdbError):
+    """A write or query could not be routed to a shard."""
+
+
+class RuleMatchError(RoutingError):
+    """No secondary hashing rule matches a record (violates §4.2 invariants)."""
+
+
+class ConsensusError(EsdbError):
+    """The secondary-hashing-rule consensus protocol failed."""
+
+
+class ConsensusAborted(ConsensusError):
+    """A proposed rule was aborted during the prepare phase."""
+
+
+class ClusterError(EsdbError):
+    """Cluster topology or shard-allocation failure."""
+
+
+class ShardAllocationError(ClusterError):
+    """A shard or replica could not be placed on any node."""
+
+
+class StorageError(EsdbError):
+    """Failure inside the per-shard storage engine."""
+
+
+class TranslogCorruptionError(StorageError):
+    """The write-ahead log failed an integrity check during recovery."""
+
+
+class DocumentNotFoundError(StorageError):
+    """A row id was requested that does not exist in the shard."""
+
+
+class QueryError(EsdbError):
+    """Base class for the SQL / ES-DSL query layer."""
+
+
+class SqlSyntaxError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class UnsupportedSqlError(QueryError):
+    """The SQL parsed but uses a feature outside the supported SFW subset."""
+
+
+class PlanningError(QueryError):
+    """The optimizer could not build an execution plan."""
+
+
+class ReplicationError(EsdbError):
+    """Physical or logical replication failure."""
+
+
+class SimulationError(EsdbError):
+    """The discrete-event simulator was driven into an invalid state."""

@@ -1,0 +1,453 @@
+"""The ESDB facade: a complete, queryable multi-tenant database instance.
+
+Glues together every subsystem into the end-to-end path a user of the real
+system would see:
+
+* a :class:`~repro.cluster.Cluster` topology with one
+  :class:`~repro.storage.engine.ShardEngine` per primary shard;
+* a routing policy (dynamic secondary hashing by default) shared by the
+  write and query clients;
+* the workload monitor + load balancer + consensus loop that commits new
+  secondary hashing rules as hotspots emerge;
+* SQL execution: parse → Xdriver4ES → per-shard RBO plan → execute →
+  coordinator aggregation.
+
+This facade favours clarity over throughput — the performance experiments
+use :mod:`repro.sim`; this class is the *functional* system behind the
+examples and the query-side benchmarks (Figures 16–18).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.balancer import BalancerConfig, LoadBalancer, WorkloadMonitor
+from repro.cluster import Cluster, ClusterTopology
+from repro.indexing import FrequencyTracker
+from repro.consensus import ConsensusConfig, ConsensusMaster, Participant, RuleProposal
+from repro.errors import ConsensusAborted, EsdbError, QueryError
+from repro.query import (
+    QueryExecutor,
+    ResultAggregator,
+    RuleBasedOptimizer,
+    Xdriver4ES,
+    parse_sql,
+)
+from repro.query.aggregator import QueryResult
+from repro.query.ast import (
+    ComparisonPredicate,
+    SelectStatement,
+    SubAttributePredicate,
+    iter_predicates,
+)
+from repro.query.optimizer import CatalogInfo
+from repro.routing import (
+    DynamicSecondaryHashRouting,
+    RoutingPolicy,
+)
+from repro.storage import EngineConfig, Schema, ShardEngine
+
+
+@dataclass(frozen=True)
+class EsdbConfig:
+    """Configuration of one ESDB instance.
+
+    Attributes:
+        topology: cluster layout (nodes / shards / replicas).
+        schema: document schema (defaults to the transaction-log template).
+        composite_columns: composite indexes built on every shard.
+        scan_columns: the sequential-scan list.
+        indexed_subattributes: frequency-based indexing selection (None =
+            index everything).
+        optimizer_enabled: toggle for the Figure-17 comparison.
+        balancer: hotspot thresholds for the load balancer.
+        consensus_interval: effective-time lag T for rule commits.
+        replication: None (no replica copies, the default for tests) or
+            "physical" — maintain a :class:`~repro.replication.ReplicaSet`
+            per shard (§5.2) with ``topology.replicas_per_shard`` copies,
+            enabling :meth:`ESDB.replicate` and :meth:`ESDB.fail_primary`.
+    """
+
+    topology: ClusterTopology = field(default_factory=ClusterTopology)
+    schema: Schema = field(default_factory=Schema.transaction_logs)
+    composite_columns: tuple = (("tenant_id", "created_time"),)
+    scan_columns: frozenset = frozenset({"status", "quantity"})
+    indexed_subattributes: frozenset | None = None
+    optimizer_enabled: bool = True
+    balancer: BalancerConfig = field(default_factory=BalancerConfig)
+    consensus_interval: float = 5.0
+    auto_refresh_every: int | None = 1024
+    replication: str | None = None
+
+
+class ESDB:
+    """A single-process, fully functional ESDB instance."""
+
+    def __init__(
+        self, config: EsdbConfig | None = None, policy: RoutingPolicy | None = None
+    ) -> None:
+        self.config = config or EsdbConfig()
+        self.cluster = Cluster(self.config.topology)
+        self.policy = policy or DynamicSecondaryHashRouting(self.cluster.num_shards)
+        if self.policy.num_shards != self.cluster.num_shards:
+            raise EsdbError(
+                "routing policy shard count does not match cluster topology"
+            )
+        engine_config = EngineConfig(
+            schema=self.config.schema,
+            composite_columns=self.config.composite_columns,
+            scan_columns=self.config.scan_columns,
+            indexed_subattributes=self.config.indexed_subattributes,
+            auto_refresh_every=self.config.auto_refresh_every,
+        )
+        self.engines: dict[int, ShardEngine] = {
+            shard.shard_id: ShardEngine(engine_config, shard_id=shard.shard_id)
+            for shard in self.cluster.shards
+        }
+        self._catalog = CatalogInfo(
+            schema=self.config.schema,
+            composite_indexes=self.config.composite_columns,
+            scan_columns=self.config.scan_columns,
+            indexed_subattributes=self.config.indexed_subattributes,
+        )
+        self.xdriver = Xdriver4ES()
+        self.optimizer = RuleBasedOptimizer(
+            self._catalog, enabled=self.config.optimizer_enabled
+        )
+        self.monitor = WorkloadMonitor()
+        self.balancer = LoadBalancer(
+            self.monitor, self.cluster.num_shards, self.config.balancer
+        )
+        participants = [Participant(n.name) for n in self.cluster.nodes]
+        self.consensus = ConsensusMaster(
+            participants,
+            ConsensusConfig(effective_interval=self.config.consensus_interval),
+        )
+        self._doc_shard: dict[object, int] = {}
+        self._clock = 0.0
+        self._subattr_frequencies = FrequencyTracker()
+        self.replica_sets: dict[int, "ReplicaSet"] = {}
+        if self.config.replication is not None:
+            if self.config.replication != "physical":
+                raise EsdbError(
+                    f"unsupported replication mode {self.config.replication!r}"
+                )
+            from repro.replication import ReplicaSet
+
+            copies = max(self.config.topology.replicas_per_shard, 1)
+            self.replica_sets = {
+                shard_id: ReplicaSet(engine, num_replicas=copies)
+                for shard_id, engine in self.engines.items()
+            }
+
+    # -- time ----------------------------------------------------------------
+    def advance_clock(self, now: float) -> None:
+        """Move the instance's logical clock forward (monotone)."""
+        self._clock = max(self._clock, now)
+
+    @property
+    def now(self) -> float:
+        return self._clock
+
+    # -- write path ------------------------------------------------------------
+    def write(self, source: Mapping[str, Any]) -> int:
+        """Route and execute one document write; returns the shard id."""
+        schema = self.config.schema
+        tenant_id = source[schema.tenant_field]
+        doc_id = source[schema.id_field]
+        created_time = float(source[schema.time_field])
+        self.advance_clock(created_time)
+        shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
+        if shard_id in self.replica_sets:
+            self.replica_sets[shard_id].index(source)
+        else:
+            self.engines[shard_id].index(source)
+        self.cluster.shard(shard_id).record_write()
+        self._doc_shard[doc_id] = shard_id
+        self.monitor.record_write(tenant_id, self._clock)
+        raw_attributes = source.get("attributes")
+        if raw_attributes:
+            from repro.storage.document import parse_attributes
+
+            self._subattr_frequencies.record_write(
+                parse_attributes(str(raw_attributes)).keys()
+            )
+        return shard_id
+
+    def write_many(self, sources: Iterable[Mapping[str, Any]]) -> int:
+        count = 0
+        for source in sources:
+            self.write(source)
+            count += 1
+        return count
+
+    def update(self, doc_id: object, changes: Mapping[str, Any]) -> None:
+        """Update by document id — routed via the same rules that placed it
+        (read-your-writes consistency, §4.2)."""
+        shard_id = self._locate(doc_id)
+        if shard_id in self.replica_sets:
+            self.replica_sets[shard_id].update(doc_id, dict(changes))
+        else:
+            self.engines[shard_id].update(doc_id, changes)
+
+    def delete(self, doc_id: object) -> None:
+        shard_id = self._locate(doc_id)
+        if shard_id in self.replica_sets:
+            self.replica_sets[shard_id].delete(doc_id)
+        else:
+            self.engines[shard_id].delete(doc_id)
+        del self._doc_shard[doc_id]
+
+    def _locate(self, doc_id: object) -> int:
+        shard_id = self._doc_shard.get(doc_id)
+        if shard_id is None:
+            raise QueryError(f"unknown document id {doc_id!r}")
+        return shard_id
+
+    def refresh(self) -> None:
+        """Refresh every shard (make all writes searchable)."""
+        for engine in self.engines.values():
+            engine.refresh()
+
+    # -- replication (when EsdbConfig.replication == "physical") --------------
+    def replicate(self, now: float | None = None) -> int:
+        """Run one quick incremental replication round on every shard's
+        replica set; returns the number of in-sync replicas cluster-wide."""
+        if not self.replica_sets:
+            raise EsdbError("replication is not enabled on this instance")
+        self.refresh()
+        return sum(rs.replicate_all(now) for rs in self.replica_sets.values())
+
+    def fail_primary(self, shard_id: int) -> None:
+        """Simulate the loss of a shard's primary: promote the most
+        up-to-date replica (segments + translog replay) and swap it in as
+        the serving engine. The shard continues without its replica copies
+        until a new set is seeded (operator action, as in §4.3's manual
+        fault-handling)."""
+        replica_set = self.replica_sets.get(shard_id)
+        if replica_set is None:
+            raise EsdbError(f"shard {shard_id} has no replica set")
+        promoted = replica_set.promote()
+        promoted.refresh()
+        self.engines[shard_id] = promoted
+        del self.replica_sets[shard_id]
+
+    # -- balancing --------------------------------------------------------------
+    def rebalance(self) -> list[tuple[object, int, float]]:
+        """Run one balance round; returns committed (tenant, offset,
+        effective_time) tuples. No-op for non-dynamic policies."""
+        if not isinstance(self.policy, DynamicSecondaryHashRouting):
+            return []
+        self.monitor.roll_window(self._clock)
+        committed = []
+        for proposal in self.balancer.rebalance():
+            try:
+                outcome = self.consensus.propose(
+                    RuleProposal("facade", proposal.tenant_id, proposal.offset),
+                    self._clock,
+                )
+            except ConsensusAborted:
+                self.balancer.retract(proposal)
+                continue
+            self.policy.rules.update(
+                outcome.effective_time, proposal.offset, proposal.tenant_id
+            )
+            committed.append(
+                (proposal.tenant_id, proposal.offset, outcome.effective_time)
+            )
+        return committed
+
+    # -- query path ----------------------------------------------------------------
+    def execute_sql(self, sql: str) -> QueryResult:
+        """End-to-end SQL execution: parse, translate, plan, fan out,
+        aggregate."""
+        statement = parse_sql(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: SelectStatement) -> QueryResult:
+        translated = self.xdriver.translate(statement)
+        statement = translated.statement
+        queried_subattrs = [
+            p.key_name
+            for p in iter_predicates(statement.where)
+            if isinstance(p, SubAttributePredicate)
+        ]
+        if queried_subattrs:
+            self._subattr_frequencies.record_query(queried_subattrs)
+        plan = self.optimizer.plan(statement)
+        shard_ids = self._target_shards(statement)
+        aggregator = ResultAggregator(
+            columns=statement.columns,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            group_by=statement.group_by,
+            having=statement.having,
+        )
+
+        push_limit = self._pushdown_limit(statement)
+
+        def subquery_results():
+            for shard_id in shard_ids:
+                engine = self.engines[shard_id]
+                rows, _ = QueryExecutor(engine).execute(plan)
+                matched = len(rows)
+                if push_limit is not None:
+                    if statement.order_by is not None:
+                        rows = engine.top_k(
+                            rows,
+                            statement.order_by.column,
+                            push_limit,
+                            descending=statement.order_by.descending,
+                        )
+                    elif matched > push_limit:
+                        from repro.storage.postings import PostingList
+
+                        rows = PostingList(list(rows)[:push_limit], presorted=True)
+                yield [doc.source for doc in engine.fetch(rows)], matched
+
+        return aggregator.aggregate_shards(subquery_results())
+
+    @staticmethod
+    def _pushdown_limit(statement: SelectStatement) -> int | None:
+        """LIMIT pushdown: each shard needs at most LIMIT rows when the
+        coordinator only sorts/truncates (no aggregates, which need every
+        row; ORDER BY is satisfied by per-shard top-k + global merge)."""
+        if statement.limit is None or statement.has_aggregates:
+            return None
+        return statement.limit
+
+    def _target_shards(self, statement: SelectStatement) -> list[int]:
+        """Shard pruning: a tenant-equality predicate restricts the fan-out
+        to the tenant's consecutive shard range; otherwise all shards."""
+        tenant_field = self.config.schema.tenant_field
+        for predicate in iter_predicates(statement.where):
+            if (
+                isinstance(predicate, ComparisonPredicate)
+                and predicate.column == tenant_field
+                and predicate.op == "="
+            ):
+                return list(self.policy.query_shards(predicate.value))
+        return list(range(self.cluster.num_shards))
+
+    # -- introspection -----------------------------------------------------------
+    def doc_count(self) -> int:
+        return sum(e.doc_count() for e in self.engines.values())
+
+    def shard_doc_counts(self) -> dict[int, int]:
+        return {sid: e.doc_count() for sid, e in self.engines.items()}
+
+    def tenant_fanout(self, tenant_id: object) -> int:
+        """Subqueries a query for *tenant_id* currently requires."""
+        return len(self.policy.query_shards(tenant_id))
+
+    def suggest_subattribute_indexes(self, k: int = 30) -> frozenset:
+        """Frequency-based indexing advisor (§3.2): the top-*k* sub-attributes
+        by observed *query* frequency (write frequency as tiebreaker),
+        suitable for ``EsdbConfig.indexed_subattributes`` on the next roll.
+
+        Frequencies accumulate automatically: every executed ATTR() filter
+        and every written document's sub-attribute names are recorded.
+        """
+        return self._subattr_frequencies.top_k(k)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN: show the Xdriver4ES rewrite, the ES-DSL tree, the RBO
+        physical plan, and the shard fan-out for *sql* without executing it."""
+        statement = parse_sql(sql)
+        translated = self.xdriver.translate(statement)
+        plan = self.optimizer.plan(translated.statement)
+        shard_ids = self._target_shards(translated.statement)
+        lines = [f"SQL: {sql.strip()}"]
+        if translated.dsl is not None:
+            lines.append(f"ES-DSL: {translated.dsl.to_json()}")
+            lines.append(
+                "rewrite: depth "
+                f"{translated.original_depth} -> "
+                f"{translated.original_depth - translated.depth_reduction}, "
+                f"width {translated.original_width} -> "
+                f"{translated.original_width - translated.width_reduction}"
+            )
+        lines.append("plan:")
+        lines.append("  " + plan.describe().replace("\n", "\n  "))
+        lines.append(
+            f"fan-out: {len(shard_ids)} shard(s) "
+            f"[{shard_ids[0]}..{shard_ids[-1]}]"
+            if shard_ids
+            else "fan-out: 0 shards"
+        )
+        if self._pushdown_limit(translated.statement) is not None:
+            lines.append(f"pushdown: per-shard LIMIT {translated.statement.limit}")
+        return "\n".join(lines)
+
+    # -- index management (the "Add/Drop Index" box of Figure 3) -------------
+    def add_index(self, columns) -> str:
+        """Build a composite index on *columns* across every shard and make
+        the optimizer aware of it; returns the index name."""
+        columns = tuple(columns)
+        name = None
+        for engine in self.engines.values():
+            name = engine.add_composite_index(columns)
+        self._catalog = CatalogInfo(
+            schema=self._catalog.schema,
+            composite_indexes=self._catalog.composite_indexes + (columns,),
+            scan_columns=self._catalog.scan_columns,
+            indexed_subattributes=self._catalog.indexed_subattributes,
+        )
+        self.optimizer = RuleBasedOptimizer(
+            self._catalog, enabled=self.config.optimizer_enabled
+        )
+        return name or "_".join(columns)
+
+    def drop_index(self, name: str) -> None:
+        """Drop a dynamically added composite index cluster-wide."""
+        for engine in self.engines.values():
+            engine.drop_composite_index(name)
+        remaining = tuple(
+            columns
+            for columns in self._catalog.composite_indexes
+            if "_".join(columns) != name
+        )
+        self._catalog = CatalogInfo(
+            schema=self._catalog.schema,
+            composite_indexes=remaining,
+            scan_columns=self._catalog.scan_columns,
+            indexed_subattributes=self._catalog.indexed_subattributes,
+        )
+        self.optimizer = RuleBasedOptimizer(
+            self._catalog, enabled=self.config.optimizer_enabled
+        )
+
+    def list_indexes(self) -> list[str]:
+        """Composite indexes currently usable by the optimizer."""
+        return sorted("_".join(columns) for columns in self._catalog.composite_indexes)
+
+    def stats_report(self) -> str:
+        """Human-readable instance report: topology, per-node document
+        distribution, engine counters and committed routing rules."""
+        lines = [self.cluster.describe()]
+        per_node: dict[int, int] = {n.node_id: 0 for n in self.cluster.nodes}
+        for shard_id, engine in self.engines.items():
+            per_node[self.cluster.shard(shard_id).node_id] += engine.doc_count()
+        lines.append("documents per node:")
+        for node_id, count in sorted(per_node.items()):
+            lines.append(f"  node-{node_id}: {count}")
+        writes = sum(e.stats.writes for e in self.engines.values())
+        refreshes = sum(e.stats.refreshes for e in self.engines.values())
+        merges = sum(e.stats.merges for e in self.engines.values())
+        segments = sum(e.segment_count() for e in self.engines.values())
+        lines.append(
+            f"engines: {writes} writes, {refreshes} refreshes, {merges} merges, "
+            f"{segments} live segments"
+        )
+        if isinstance(self.policy, DynamicSecondaryHashRouting):
+            rules = self.policy.rules
+            lines.append(f"routing rules: {len(rules)} committed")
+            for rule in list(rules)[:10]:
+                tenants = sorted(map(str, rule.tenants))[:5]
+                suffix = ", ..." if len(rule.tenants) > 5 else ""
+                lines.append(
+                    f"  t={rule.effective_time:.2f} s={rule.offset} "
+                    f"tenants=[{', '.join(tenants)}{suffix}]"
+                )
+        return "\n".join(lines)

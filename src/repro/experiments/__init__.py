@@ -1,0 +1,31 @@
+"""Standalone experiment harnesses for every figure of the paper's §6.
+
+Each experiment function returns an :class:`~repro.experiments.base.ExperimentResult`
+(title, headers, rows, notes) and is registered by figure id, so the whole
+evaluation can be regenerated outside pytest::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig11 --scale small
+    python -m repro.experiments all --scale tiny
+
+The pytest benchmarks under ``benchmarks/`` additionally assert each
+figure's qualitative shape; these harnesses are the library-level way to
+get the numbers.
+"""
+
+from repro.experiments.base import ExperimentResult, Scale, registry
+from repro.experiments import query_side, write_side  # noqa: F401  (register)
+
+__all__ = ["ExperimentResult", "Scale", "registry", "run", "available"]
+
+
+def available() -> list[str]:
+    """Figure ids that can be regenerated."""
+    return sorted(registry)
+
+
+def run(figure: str, scale: str = "small") -> ExperimentResult:
+    """Run one registered experiment and return its result."""
+    if figure not in registry:
+        raise KeyError(f"unknown figure {figure!r}; available: {available()}")
+    return registry[figure](Scale(scale))

@@ -1,0 +1,101 @@
+"""Experiment plumbing: result container, scales, registry."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+class Scale(enum.Enum):
+    """How big to run an experiment.
+
+    * ``tiny`` — seconds; CI smoke runs.
+    * ``small`` — tens of seconds; the default, matches the benchmark suite.
+    * ``paper`` — the paper's full durations/rates where feasible (the
+      simulator runs them; engine-backed experiments clamp the corpus to
+      what a single Python process can hold and say so in the notes).
+    """
+
+    TINY = "tiny"
+    SMALL = "small"
+    PAPER = "paper"
+
+    def pick(self, tiny, small, paper):
+        """Select a per-scale parameter value."""
+        return {Scale.TINY: tiny, Scale.SMALL: small, Scale.PAPER: paper}[self]
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated figure: a titled table plus free-form notes."""
+
+    figure: str
+    title: str
+    headers: list
+    rows: list
+    notes: list = field(default_factory=list)
+
+    def render(self) -> str:
+        widths = [
+            max(len(str(self.headers[i])), *(len(str(r[i])) for r in self.rows))
+            if self.rows
+            else len(str(self.headers[i]))
+            for i in range(len(self.headers))
+        ]
+        lines = [f"=== {self.figure}: {self.title} ==="]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def render_chart(self, value_column: int = 1, width: int = 50) -> str:
+        """Render one numeric column as a horizontal ASCII bar chart.
+
+        Labels come from column 0; *value_column* selects the series. Rows
+        whose value does not parse as a number are skipped. Figures in a
+        terminal-only environment still deserve a visual.
+        """
+        series: list[tuple[str, float]] = []
+        for row in self.rows:
+            try:
+                value = float(str(row[value_column]).replace(",", "").rstrip("%x"))
+            except (ValueError, IndexError):
+                continue
+            series.append((str(row[0]), value))
+        if not series:
+            return f"=== {self.figure}: {self.title} === (no numeric data)"
+        peak = max(abs(v) for _, v in series) or 1.0
+        label_width = max(len(label) for label, _ in series)
+        header = str(self.headers[value_column]) if value_column < len(self.headers) else ""
+        lines = [f"=== {self.figure}: {self.title} — {header} ==="]
+        for label, value in series:
+            bar = "█" * max(int(abs(value) / peak * width), 1 if value else 0)
+            lines.append(f"{label.rjust(label_width)} | {bar} {value:,.4g}")
+        return "\n".join(lines)
+
+
+#: figure id → callable(Scale) -> ExperimentResult
+registry: dict[str, Callable[[Scale], ExperimentResult]] = {}
+
+
+def experiment(figure: str):
+    """Register an experiment function under *figure*."""
+
+    def decorate(func):
+        if figure in registry:
+            raise ConfigurationError(f"duplicate experiment id {figure!r}")
+        registry[figure] = func
+        func.figure = figure
+        return func
+
+    return decorate
+
+
+def fmt(value: float, digits: int = 1) -> str:
+    return f"{value:,.{digits}f}"

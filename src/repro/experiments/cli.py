@@ -1,0 +1,78 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig11
+    python -m repro.experiments fig10 fig12 --scale tiny
+    python -m repro.experiments all --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import available, run
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the evaluation figures of the ESDB paper (§6).",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        help="figure ids (e.g. fig10 fig16), or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["tiny", "small", "paper"],
+        default="small",
+        help="experiment scale (default: small; 'paper' runs full durations)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available figure ids and exit"
+    )
+    parser.add_argument(
+        "--chart",
+        type=int,
+        metavar="COLUMN",
+        default=None,
+        help="also render the given table column as an ASCII bar chart",
+    )
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for figure in available():
+            print(figure)
+        return 0
+    figures = args.figures
+    if not figures:
+        build_parser().print_help()
+        return 2
+    if figures == ["all"]:
+        figures = available()
+    unknown = [f for f in figures if f not in available()]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(available())}", file=sys.stderr)
+        return 2
+    for figure in figures:
+        start = time.perf_counter()
+        result = run(figure, scale=args.scale)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        if args.chart is not None:
+            print(result.render_chart(args.chart))
+        print(f"({elapsed:.1f}s at scale={args.scale})\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

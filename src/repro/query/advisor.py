@@ -1,0 +1,215 @@
+"""Index advisor: recommend composite indexes and the sequential-scan list.
+
+§5.1 notes that composite indexes "have limited applicability, as the
+columns must comply with the leftmost sequence", and that "DBAs are expected
+to manually build composite indices among a massive amount of column
+combinations". This module automates that manual step for an observed
+workload:
+
+* **composite indexes** — mine frequent AND-connected equality column sets
+  from the workload's statements, order each candidate's columns by how
+  often the column appears with *equality* (equality-first, range-last — the
+  ordering the leftmost principle rewards), append the workload's dominant
+  range column when one exists, and keep the top candidates by coverage;
+* **scan list** — columns whose observed cardinality is low enough that a
+  sequential scan over doc values beats maintaining and intersecting an
+  index (e.g. ``status``), taken from engine statistics when available.
+
+The advisor is purely observational: it consumes parsed statements (and
+optionally per-column cardinalities) and emits an :class:`IndexAdvice` the
+caller can feed into :class:`~repro.storage.engine.EngineConfig`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+from repro.query.ast import (
+    AndNode,
+    BetweenPredicate,
+    ComparisonPredicate,
+    NotNode,
+    OrNode,
+    SelectStatement,
+)
+
+
+@dataclass(frozen=True)
+class IndexAdvice:
+    """The advisor's output.
+
+    Attributes:
+        composite_indexes: recommended column tuples, most valuable first.
+        scan_columns: recommended sequential-scan (doc-values) columns.
+        coverage: fraction of observed conjunctions whose equality columns
+            are fully covered by some recommended composite index prefix.
+    """
+
+    composite_indexes: tuple
+    scan_columns: frozenset
+    coverage: float
+
+
+@dataclass
+class _Conjunction:
+    """One observed AND-group: equality columns + range columns."""
+
+    equalities: frozenset
+    ranges: frozenset
+
+
+class IndexAdvisor:
+    """Accumulates a query workload and recommends indexes for it."""
+
+    def __init__(
+        self,
+        max_indexes: int = 3,
+        max_columns_per_index: int = 3,
+        scan_cardinality_threshold: int = 16,
+        min_support: float = 0.05,
+    ) -> None:
+        if max_indexes < 1 or max_columns_per_index < 1:
+            raise ConfigurationError("advisor limits must be >= 1")
+        self.max_indexes = max_indexes
+        self.max_columns_per_index = max_columns_per_index
+        self.scan_cardinality_threshold = scan_cardinality_threshold
+        self.min_support = min_support
+        self._conjunctions: list[_Conjunction] = []
+        self._equality_counts: Counter = Counter()
+        self._range_counts: Counter = Counter()
+        self._cardinalities: dict[str, int] = {}
+
+    # -- observation -------------------------------------------------------
+    def observe(self, statement: SelectStatement) -> None:
+        """Record one parsed statement's WHERE structure."""
+        for conjunction in _extract_conjunctions(statement.where):
+            if not conjunction.equalities and not conjunction.ranges:
+                continue
+            self._conjunctions.append(conjunction)
+            self._equality_counts.update(conjunction.equalities)
+            self._range_counts.update(conjunction.ranges)
+
+    def observe_all(self, statements: Iterable[SelectStatement]) -> None:
+        for statement in statements:
+            self.observe(statement)
+
+    def set_cardinality(self, column: str, distinct_values: int) -> None:
+        """Supply an observed column cardinality (e.g. from
+        ``DocValues.distinct_count``) for scan-list decisions."""
+        self._cardinalities[column] = distinct_values
+
+    # -- recommendation --------------------------------------------------------
+    def recommend(self) -> IndexAdvice:
+        """Produce the advice for everything observed so far."""
+        total = max(len(self._conjunctions), 1)
+        scan_columns = self._recommend_scan_columns()
+
+        candidate_scores: Counter = Counter()
+        for conjunction in self._conjunctions:
+            key_columns = frozenset(conjunction.equalities - scan_columns)
+            if key_columns:
+                candidate_scores[(key_columns, frozenset(conjunction.ranges))] += 1
+
+        chosen: list[tuple] = []
+        for (equalities, ranges), count in candidate_scores.most_common():
+            if count / total < self.min_support and chosen:
+                break
+            ordered = self._order_columns(equalities, ranges)
+            if ordered and not any(
+                _is_prefix(ordered, existing) for existing in chosen
+            ):
+                chosen.append(ordered)
+            if len(chosen) >= self.max_indexes:
+                break
+
+        coverage = self._coverage(chosen, scan_columns)
+        return IndexAdvice(
+            composite_indexes=tuple(chosen),
+            scan_columns=scan_columns,
+            coverage=coverage,
+        )
+
+    def _recommend_scan_columns(self) -> frozenset:
+        out = set()
+        for column, cardinality in self._cardinalities.items():
+            if cardinality <= self.scan_cardinality_threshold:
+                out.add(column)
+        return frozenset(out)
+
+    def _order_columns(self, equalities: frozenset, ranges: frozenset) -> tuple:
+        """Order a candidate: equality columns by descending workload
+        frequency (most-shared first → longest usable prefixes), then the
+        most frequent range column last (it can only ever be the first
+        non-equality column of the search)."""
+        ordered = sorted(
+            equalities,
+            key=lambda c: (-self._equality_counts[c], c),
+        )[: self.max_columns_per_index]
+        budget = self.max_columns_per_index - len(ordered)
+        if budget > 0 and ranges:
+            best_range = max(ranges, key=lambda c: (self._range_counts[c], c))
+            ordered.append(best_range)
+        return tuple(ordered)
+
+    def _coverage(self, indexes: list[tuple], scan_columns: frozenset) -> float:
+        if not self._conjunctions:
+            return 0.0
+        covered = 0
+        for conjunction in self._conjunctions:
+            needed = conjunction.equalities - scan_columns
+            if not needed:
+                covered += 1
+                continue
+            for index in indexes:
+                prefix_len = 0
+                for column in index:
+                    if column in needed:
+                        prefix_len += 1
+                    else:
+                        break
+                if prefix_len == len(needed):
+                    covered += 1
+                    break
+        return covered / len(self._conjunctions)
+
+
+def _extract_conjunctions(node) -> list[_Conjunction]:
+    """Collect the AND-groups of a WHERE tree (OR branches independently)."""
+    if node is None:
+        return []
+    if isinstance(node, OrNode):
+        out = []
+        for child in node.children:
+            out.extend(_extract_conjunctions(child))
+        return out
+    if isinstance(node, NotNode):
+        return _extract_conjunctions(node.child)
+    equalities: set = set()
+    ranges: set = set()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, AndNode):
+            stack.extend(current.children)
+        elif isinstance(current, OrNode):
+            # Nested OR under an AND: its columns are not reliably usable as
+            # an index prefix for this conjunction; recurse separately.
+            pass
+        elif isinstance(current, ComparisonPredicate):
+            if current.op == "=":
+                equalities.add(current.column)
+            elif current.op in ("<", "<=", ">", ">="):
+                ranges.add(current.column)
+        elif isinstance(current, BetweenPredicate):
+            ranges.add(current.column)
+    return [_Conjunction(frozenset(equalities), frozenset(ranges))]
+
+
+def _is_prefix(candidate: tuple, existing: tuple) -> bool:
+    """True when *candidate* is a leftmost prefix of *existing* (already
+    served by it) or vice versa."""
+    shorter, longer = sorted((candidate, existing), key=len)
+    return longer[: len(shorter)] == shorter

@@ -1,0 +1,107 @@
+"""ES-DSL: the JSON-ish query tree Elasticsearch executes.
+
+Xdriver4ES translates SQL ASTs into this representation. The DSL encodes
+query trees directly (the paper notes ES-DSL "encodes query ASTs" that are
+parsed into execution plans), so the translation is a structural mapping:
+
+* AND → ``bool.must``; OR → ``bool.should``; NOT → ``bool.must_not``;
+* equality/IN → ``term``/``terms``; ranges → ``range``;
+* LIKE → ``wildcard``; MATCH → ``match``; ATTR → ``sub_attr``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import UnsupportedSqlError
+from repro.query.ast import (
+    AndNode,
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    MatchPredicate,
+    NotNode,
+    OrNode,
+    SubAttributePredicate,
+)
+
+
+@dataclass(frozen=True)
+class DslQuery:
+    """One ES-DSL node: a kind plus its body, children for bool nodes.
+
+    ``body`` mirrors the JSON payload Elasticsearch would receive; children
+    are kept as structured nodes so the optimizer can walk them without
+    re-parsing JSON.
+    """
+
+    kind: str
+    body: tuple = ()
+    must: tuple = ()
+    should: tuple = ()
+    must_not: tuple = ()
+
+    def to_json(self) -> dict:
+        """Render the node as the dict Elasticsearch's REST API would accept."""
+        if self.kind == "bool":
+            payload: dict[str, Any] = {}
+            if self.must:
+                payload["must"] = [child.to_json() for child in self.must]
+            if self.should:
+                payload["should"] = [child.to_json() for child in self.should]
+            if self.must_not:
+                payload["must_not"] = [child.to_json() for child in self.must_not]
+            return {"bool": payload}
+        return {self.kind: dict(self.body)}
+
+    def leaf_count(self) -> int:
+        if self.kind != "bool":
+            return 1
+        return sum(c.leaf_count() for c in self.must + self.should + self.must_not)
+
+    def depth(self) -> int:
+        if self.kind != "bool":
+            return 1
+        children = self.must + self.should + self.must_not
+        return 1 + (max(c.depth() for c in children) if children else 0)
+
+
+def to_dsl(node: object) -> DslQuery:
+    """Translate a predicate tree into an ES-DSL tree."""
+    if isinstance(node, AndNode):
+        return DslQuery(kind="bool", must=tuple(to_dsl(c) for c in node.children))
+    if isinstance(node, OrNode):
+        return DslQuery(kind="bool", should=tuple(to_dsl(c) for c in node.children))
+    if isinstance(node, NotNode):
+        return DslQuery(kind="bool", must_not=(to_dsl(node.child),))
+    if isinstance(node, ComparisonPredicate):
+        return _comparison_to_dsl(node)
+    if isinstance(node, BetweenPredicate):
+        return DslQuery(
+            kind="range",
+            body=(("field", node.column), ("gte", node.low), ("lte", node.high)),
+        )
+    if isinstance(node, InPredicate):
+        return DslQuery(kind="terms", body=(("field", node.column), ("values", node.values)))
+    if isinstance(node, LikePredicate):
+        wildcard = node.pattern.replace("%", "*").replace("_", "?")
+        return DslQuery(kind="wildcard", body=(("field", node.column), ("value", wildcard)))
+    if isinstance(node, MatchPredicate):
+        return DslQuery(kind="match", body=(("field", node.column), ("query", node.text)))
+    if isinstance(node, SubAttributePredicate):
+        return DslQuery(
+            kind="sub_attr", body=(("key", node.key_name), ("value", node.value))
+        )
+    raise UnsupportedSqlError(f"cannot translate {type(node).__name__} to ES-DSL")
+
+
+def _comparison_to_dsl(pred: ComparisonPredicate) -> DslQuery:
+    if pred.op == "=":
+        return DslQuery(kind="term", body=(("field", pred.column), ("value", pred.value)))
+    if pred.op == "!=":
+        inner = DslQuery(kind="term", body=(("field", pred.column), ("value", pred.value)))
+        return DslQuery(kind="bool", must_not=(inner,))
+    bound = {"<": "lt", "<=": "lte", ">": "gt", ">=": "gte"}[pred.op]
+    return DslQuery(kind="range", body=(("field", pred.column), (bound, pred.value)))

@@ -1,0 +1,297 @@
+"""The rule-based optimizer (RBO) of §5.1.
+
+For AND-connected predicates the RBO ranks access paths:
+
+1. **Composite index** — when equality predicates cover a leftmost prefix of
+   some composite index, pick the longest match; a range predicate on the
+   next index column folds into the same search.
+2. **Sequential scan** — remaining predicates on columns in the *scan list*
+   become :class:`SequentialScanFilter` operators layered on the chosen
+   index plan (cheap: they only touch rows already selected).
+3. **Single-column index** — everything else gets its own index search and
+   is intersected (the Lucene/Figure-7 default).
+
+OR branches are planned independently and unioned. With the optimizer
+disabled, every predicate becomes a single-column index search — exactly
+Lucene's rigid plan — which is what Figure 17's "without optimizer" baseline
+measures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import PlanningError
+from repro.query.ast import (
+    AndNode,
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    MatchPredicate,
+    NotNode,
+    OrNode,
+    Predicate,
+    SelectStatement,
+    SubAttributePredicate,
+    flatten,
+)
+from repro.query.planner import (
+    CompositeSearch,
+    Exclude,
+    FullScan,
+    Intersect,
+    MatchAll,
+    PhysicalPlan,
+    PlanNode,
+    RangeSearch,
+    SequentialScanFilter,
+    SubAttributeScan,
+    SubAttributeSearch,
+    TermSearch,
+    TermsSearch,
+    TextMatch,
+    Union,
+    WildcardScan,
+)
+from repro.storage.document import FieldType, Schema
+
+
+class AccessPath(enum.Enum):
+    """The three access paths the RBO ranks (§5.1)."""
+
+    COMPOSITE_INDEX = "composite-index"
+    SEQUENTIAL_SCAN = "sequential-scan"
+    SINGLE_COLUMN_INDEX = "single-column-index"
+
+
+@dataclass(frozen=True)
+class CatalogInfo:
+    """What the optimizer knows about a shard's indexes.
+
+    Attributes:
+        schema: field types.
+        composite_indexes: tuples of column names, one per composite index.
+        scan_columns: the scan list (low-cardinality columns suited to
+            sequential scan over doc values).
+        indexed_subattributes: frequency-indexed sub-attribute names, or None
+            when every sub-attribute is indexed.
+    """
+
+    schema: Schema
+    composite_indexes: tuple = ()
+    scan_columns: frozenset = frozenset()
+    indexed_subattributes: frozenset | None = None
+
+
+class RuleBasedOptimizer:
+    """Builds :class:`PhysicalPlan` trees from rewritten SELECT statements."""
+
+    def __init__(self, catalog: CatalogInfo, *, enabled: bool = True) -> None:
+        self.catalog = catalog
+        self.enabled = enabled
+
+    def plan(self, statement: SelectStatement) -> PhysicalPlan:
+        """Plan one statement (whose WHERE tree Xdriver4ES already rewrote)."""
+        if statement.where is None:
+            root: PlanNode = MatchAll()
+        else:
+            root = self._plan_node(flatten(statement.where))
+        return PhysicalPlan(
+            root=root,
+            columns=statement.columns,
+            order_by=statement.order_by,
+            limit=statement.limit,
+        )
+
+    # -- recursive planning ----------------------------------------------------
+    def _plan_node(self, node: object) -> PlanNode:
+        if isinstance(node, OrNode):
+            return Union(tuple(self._plan_node(child) for child in node.children))
+        if isinstance(node, AndNode):
+            return self._plan_conjunction(list(node.children))
+        if isinstance(node, NotNode):
+            return self._plan_negation(node)
+        return self._plan_conjunction([node])
+
+    def _plan_negation(self, node: NotNode) -> PlanNode:
+        inner = self._plan_node(node.child)
+        return Exclude(MatchAll(), inner)
+
+    def _plan_conjunction(self, predicates: list) -> PlanNode:
+        """Plan AND-connected predicates with the three-path ranking."""
+        nested = [p for p in predicates if isinstance(p, (AndNode, OrNode, NotNode))]
+        leaves = [p for p in predicates if isinstance(p, Predicate)]
+        parts: list[PlanNode] = [self._plan_node(n) for n in nested]
+
+        if not self.enabled:
+            parts.extend(self._single_column_plan(p) for p in leaves)
+            return _combine_intersect(parts)
+
+        remaining = list(leaves)
+        base: PlanNode | None = None
+
+        composite_pick = self._pick_composite(remaining)
+        if composite_pick is not None:
+            base, used = composite_pick
+            remaining = [p for p in remaining if p not in used]
+
+        scan_predicates = [p for p in remaining if self._scannable(p)]
+        index_predicates = [p for p in remaining if p not in scan_predicates]
+
+        index_parts = [self._single_column_plan(p) for p in index_predicates]
+        if base is not None:
+            index_parts.insert(0, base)
+        plan = _combine_intersect(parts + index_parts)
+
+        # Layer sequential scans over the selected rows — cheapest last stage.
+        for predicate in scan_predicates:
+            plan = self._wrap_scan(plan, predicate)
+        return plan
+
+    # -- composite index selection ------------------------------------------------
+    def _pick_composite(self, predicates: list):
+        """Return ``(CompositeSearch, used_predicates)`` for the longest-match
+        composite index, or None when no index is applicable."""
+        equalities: dict[str, Predicate] = {}
+        ranges: dict[str, Predicate] = {}
+        for predicate in predicates:
+            if isinstance(predicate, ComparisonPredicate) and predicate.op == "=":
+                equalities.setdefault(predicate.column, predicate)
+            elif isinstance(predicate, BetweenPredicate):
+                ranges.setdefault(predicate.column, predicate)
+            elif isinstance(predicate, ComparisonPredicate) and predicate.op in (
+                "<",
+                "<=",
+                ">",
+                ">=",
+            ):
+                ranges.setdefault(predicate.column, predicate)
+
+        best = None
+        best_score = (0, 0)  # (equality match length, has range)
+        for columns in self.catalog.composite_indexes:
+            match_len = 0
+            for column in columns:
+                if column in equalities:
+                    match_len += 1
+                else:
+                    break
+            if match_len == 0:
+                continue
+            range_column = None
+            if match_len < len(columns) and columns[match_len] in ranges:
+                range_column = columns[match_len]
+            score = (match_len, 1 if range_column else 0)
+            if score > best_score:
+                best_score = score
+                best = (columns, match_len, range_column)
+        if best is None:
+            return None
+
+        columns, match_len, range_column = best
+        used: list[Predicate] = [equalities[c] for c in columns[:match_len]]
+        eq_pairs = tuple((c, equalities[c].value) for c in columns[:match_len])
+        low = high = None
+        include_low = include_high = True
+        if range_column is not None:
+            range_pred = ranges[range_column]
+            used.append(range_pred)
+            if isinstance(range_pred, BetweenPredicate):
+                low, high = range_pred.low, range_pred.high
+            else:
+                if range_pred.op in (">", ">="):
+                    low = range_pred.value
+                    include_low = range_pred.op == ">="
+                else:
+                    high = range_pred.value
+                    include_high = range_pred.op == "<="
+        search = CompositeSearch(
+            index_name="_".join(columns),
+            equalities=eq_pairs,
+            range_column=range_column,
+            low=low,
+            high=high,
+            include_low=include_low,
+            include_high=include_high,
+        )
+        return search, used
+
+    # -- sequential scan ------------------------------------------------------------
+    def _scannable(self, predicate: Predicate) -> bool:
+        if isinstance(predicate, SubAttributePredicate):
+            return False
+        if isinstance(predicate, MatchPredicate):
+            return False
+        return predicate.column in self.catalog.scan_columns
+
+    def _wrap_scan(self, plan: PlanNode, predicate: Predicate) -> PlanNode:
+        if isinstance(predicate, ComparisonPredicate):
+            return SequentialScanFilter(plan, predicate.column, predicate.op, predicate.value)
+        if isinstance(predicate, BetweenPredicate):
+            return SequentialScanFilter(
+                plan, predicate.column, "between", (predicate.low, predicate.high)
+            )
+        if isinstance(predicate, InPredicate):
+            return SequentialScanFilter(plan, predicate.column, "in", predicate.values)
+        if isinstance(predicate, LikePredicate):
+            return SequentialScanFilter(plan, predicate.column, "like", predicate.pattern)
+        raise PlanningError(f"cannot scan-filter {type(predicate).__name__}")
+
+    # -- single-column paths -----------------------------------------------------------
+    def _single_column_plan(self, predicate: Predicate) -> PlanNode:
+        schema = self.catalog.schema
+        if isinstance(predicate, SubAttributePredicate):
+            allowed = self.catalog.indexed_subattributes
+            if allowed is None or predicate.key_name in allowed:
+                return SubAttributeSearch(predicate.key_name, predicate.value)
+            return SubAttributeScan(predicate.key_name, predicate.value)
+        if isinstance(predicate, MatchPredicate):
+            return TextMatch(predicate.column, predicate.text)
+        if isinstance(predicate, LikePredicate):
+            return WildcardScan(predicate.column, predicate.pattern)
+        if isinstance(predicate, InPredicate):
+            return TermsSearch(predicate.column, predicate.values)
+        if isinstance(predicate, BetweenPredicate):
+            return RangeSearch(predicate.column, predicate.low, predicate.high)
+        if isinstance(predicate, ComparisonPredicate):
+            ftype = schema.type_of(predicate.column)
+            if predicate.op == "=":
+                if ftype is FieldType.NUMERIC:
+                    return RangeSearch(predicate.column, predicate.value, predicate.value)
+                return TermSearch(predicate.column, predicate.value)
+            if predicate.op == "!=":
+                if ftype is FieldType.NUMERIC:
+                    inner: PlanNode = RangeSearch(
+                        predicate.column, predicate.value, predicate.value
+                    )
+                else:
+                    inner = TermSearch(predicate.column, predicate.value)
+                return Exclude(MatchAll(), inner)
+            if ftype is not FieldType.NUMERIC:
+                return FullScan(predicate.column, predicate.op, predicate.value)
+            low = high = None
+            include_low = include_high = True
+            if predicate.op in (">", ">="):
+                low = predicate.value
+                include_low = predicate.op == ">="
+            else:
+                high = predicate.value
+                include_high = predicate.op == "<="
+            return RangeSearch(
+                predicate.column,
+                low,
+                high,
+                include_low=include_low,
+                include_high=include_high,
+            )
+        raise PlanningError(f"no access path for {type(predicate).__name__}")
+
+
+def _combine_intersect(parts: list[PlanNode]) -> PlanNode:
+    if not parts:
+        return MatchAll()
+    if len(parts) == 1:
+        return parts[0]
+    return Intersect(tuple(parts))

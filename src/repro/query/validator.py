@@ -1,0 +1,96 @@
+"""Semantic validation of statements against the schema.
+
+The engine answers queries over unknown columns with empty posting lists —
+technically sound for a flexible-schema store, but silently wrong for the
+fat-fingered column name in an ad-hoc seller query. The validator checks a
+parsed (or rewritten) statement against the declared schema and the known
+dynamic fields, and reports every problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.query.ast import (
+    AggregateProjection,
+    FunctionProjection,
+    MatchPredicate,
+    SelectStatement,
+    SubAttributePredicate,
+    iter_predicates,
+)
+from repro.storage.document import FieldType, Schema
+
+
+class UnknownColumnError(QueryError):
+    """A statement references columns the schema does not declare."""
+
+    def __init__(self, problems: list[str]) -> None:
+        super().__init__("; ".join(problems))
+        self.problems = list(problems)
+
+
+@dataclass(frozen=True)
+class StatementValidator:
+    """Validates statements against a :class:`Schema`.
+
+    Args:
+        schema: declared fields.
+        allow_dynamic: when True (the flexible-schema default), unknown
+            columns in *predicates* only produce warnings collected by
+            :meth:`check`; when False they raise.
+    """
+
+    schema: Schema
+    allow_dynamic: bool = False
+
+    def _known(self, column: str) -> bool:
+        return column in self.schema.fields
+
+    def check(self, statement: SelectStatement) -> list[str]:
+        """Return a list of problems (empty = statement is clean)."""
+        problems: list[str] = []
+        for item in statement.columns:
+            if item == "*":
+                continue
+            if isinstance(item, (AggregateProjection, FunctionProjection)):
+                column = item.column
+                if column != "*" and not self._known(column):
+                    problems.append(f"unknown column {column!r} in {item.output_name}")
+            elif not self._known(str(item)):
+                problems.append(f"unknown column {item!r} in SELECT list")
+        for column in statement.group_by:
+            if not self._known(column):
+                problems.append(f"unknown column {column!r} in GROUP BY")
+        if statement.order_by is not None:
+            column = statement.order_by.column
+            known_outputs = {
+                item.output_name
+                for item in statement.columns
+                if isinstance(item, (AggregateProjection, FunctionProjection))
+            }
+            if not self._known(column) and column not in known_outputs:
+                problems.append(f"unknown column {column!r} in ORDER BY")
+        for predicate in iter_predicates(statement.where):
+            if isinstance(predicate, SubAttributePredicate):
+                continue  # sub-attributes are schemaless by design
+            column = predicate.column
+            if not self._known(column):
+                problems.append(f"unknown column {column!r} in WHERE")
+            elif isinstance(predicate, MatchPredicate):
+                if self.schema.type_of(column) is not FieldType.TEXT:
+                    problems.append(
+                        f"MATCH() requires a TEXT column, {column!r} is "
+                        f"{self.schema.type_of(column).value}"
+                    )
+        return problems
+
+    def validate(self, statement: SelectStatement) -> None:
+        """Raise :class:`UnknownColumnError` when :meth:`check` finds
+        problems (predicate-only problems tolerated if *allow_dynamic*)."""
+        problems = self.check(statement)
+        if self.allow_dynamic:
+            problems = [p for p in problems if "in WHERE" not in p]
+        if problems:
+            raise UnknownColumnError(problems)

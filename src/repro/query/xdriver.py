@@ -1,0 +1,125 @@
+"""Xdriver4ES: the SQL↔ES-DSL bridge plugin (§3.1).
+
+A "smart translator" that produces cost-effective ES-DSL from SQL:
+
+* **CNF/DNF conversion** — queries viewed as boolean formulas are converted
+  to normal form to reduce AST depth;
+* **predicate merge** — same-column predicates are folded
+  (``tenant_id=1 OR tenant_id=2`` → ``tenant_id IN (1,2)``) to reduce AST
+  width;
+* **result mapping** — rows coming back from the engine are mapped into a
+  SQL-shaped result set, with built-in functions such as ``IFNULL`` and
+  ``date_format`` applied on projection.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import UnsupportedSqlError
+from repro.query.ast import (
+    SelectStatement,
+    depth,
+    flatten,
+    merge_predicates,
+    to_cnf,
+    to_dnf,
+    width,
+)
+from repro.query.dsl import DslQuery, to_dsl
+
+
+@dataclass(frozen=True)
+class TranslatedQuery:
+    """Output of Xdriver4ES: the rewritten statement and its ES-DSL tree."""
+
+    statement: SelectStatement
+    dsl: DslQuery | None
+    original_depth: int
+    original_width: int
+
+    @property
+    def depth_reduction(self) -> int:
+        if self.statement.where is None:
+            return 0
+        return self.original_depth - depth(self.statement.where)
+
+    @property
+    def width_reduction(self) -> int:
+        if self.statement.where is None:
+            return 0
+        return self.original_width - width(self.statement.where)
+
+
+class Xdriver4ES:
+    """SQL → ES-DSL translator with normalization and result mapping.
+
+    Args:
+        normal_form: "dnf" (default — each disjunct plans independently),
+            "cnf", or "none" to skip conversion.
+    """
+
+    def __init__(self, normal_form: str = "dnf") -> None:
+        if normal_form not in ("dnf", "cnf", "none"):
+            raise UnsupportedSqlError(f"unknown normal form {normal_form!r}")
+        self._normal_form = normal_form
+
+    def translate(self, statement: SelectStatement) -> TranslatedQuery:
+        """Rewrite *statement*'s WHERE tree and produce the ES-DSL tree."""
+        where = statement.where
+        original_depth = depth(where)
+        original_width = width(where)
+        if where is not None:
+            where = flatten(where)
+            if self._normal_form == "dnf":
+                where = to_dnf(where)
+            elif self._normal_form == "cnf":
+                where = to_cnf(where)
+            where = merge_predicates(where)
+        rewritten = SelectStatement(
+            columns=statement.columns,
+            table=statement.table,
+            where=where,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            group_by=statement.group_by,
+            having=statement.having,
+        )
+        dsl = to_dsl(where) if where is not None else None
+        return TranslatedQuery(
+            statement=rewritten,
+            dsl=dsl,
+            original_depth=original_depth,
+            original_width=original_width,
+        )
+
+    # -- result mapping -----------------------------------------------------
+    def map_row(self, row: Mapping[str, Any], columns: tuple) -> dict:
+        """Project engine documents into SQL-shaped rows.
+
+        Columns may be plain names or built-in function calls rendered by
+        :func:`apply_function` (``IFNULL``, ``date_format``).
+        """
+        if columns == ("*",):
+            return dict(row)
+        out = {}
+        for column in columns:
+            out[column] = row.get(column)
+        return out
+
+
+def ifnull(value: Any, default: Any) -> Any:
+    """SQL ``IFNULL``: *default* when *value* is None, else *value*."""
+    return default if value is None else value
+
+
+def date_format(epoch_seconds: float, fmt: str = "%Y-%m-%d %H:%M:%S") -> str:
+    """SQL ``date_format``: render an epoch-seconds timestamp (UTC).
+
+    ES-DSL has no type-conversion expressions, so Xdriver4ES applies this in
+    its mapping module on the way back to the SQL client.
+    """
+    moment = _dt.datetime.fromtimestamp(float(epoch_seconds), tz=_dt.timezone.utc)
+    return moment.strftime(fmt)

@@ -1,0 +1,26 @@
+"""Replication: logical (Elasticsearch) vs physical (ESDB, §5.2).
+
+Both schemes keep the replica's translog synchronized in real time (the
+durability path). They differ in how the replica's *searchable* state is
+built:
+
+* logical replication re-executes every write on the replica — doubling the
+  cluster's indexing CPU;
+* physical replication ships sealed segment files: snapshot list, segment
+  diff, quick incremental replication of refreshed segments, and
+  pre-replication of merged segments so big merges never delay fresh data.
+"""
+
+from repro.replication.costs import ReplicationAccounting
+from repro.replication.logical import LogicalReplicator
+from repro.replication.physical import PhysicalReplicator, SegmentSnapshot
+from repro.replication.replicaset import ReplicaSet, ReplicaStatus
+
+__all__ = [
+    "LogicalReplicator",
+    "PhysicalReplicator",
+    "SegmentSnapshot",
+    "ReplicationAccounting",
+    "ReplicaSet",
+    "ReplicaStatus",
+]

@@ -1,0 +1,125 @@
+"""Replica sets: one primary, many physically replicated copies.
+
+The paper's deployment runs one replica per shard, but the mechanism of
+§5.2 — translog forwarding plus segment shipping — generalizes to any
+replica count. :class:`ReplicaSet` broadcasts both channels to every
+replica, tracks their sync state independently (a slow replica must not
+stall the others), and performs primary election among the copies on
+failover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReplicationError
+from repro.replication.costs import ReplicationAccounting
+from repro.replication.physical import PhysicalReplicator
+from repro.storage.engine import ShardEngine
+
+
+@dataclass(frozen=True)
+class ReplicaStatus:
+    """Point-in-time sync state of one replica."""
+
+    name: str
+    in_sync: bool
+    doc_count: int
+    translog_entries: int
+    bytes_copied: int
+
+
+class ReplicaSet:
+    """A primary shard engine plus N physical replicas."""
+
+    def __init__(self, primary: ShardEngine, num_replicas: int = 1,
+                 network_seconds_per_byte: float = 0.0) -> None:
+        if num_replicas < 1:
+            raise ReplicationError("a replica set needs at least one replica")
+        self.primary = primary
+        self.replicators: dict[str, PhysicalReplicator] = {}
+        for index in range(num_replicas):
+            name = f"replica-{index}"
+            self.replicators[name] = PhysicalReplicator(
+                primary,
+                accounting=ReplicationAccounting(),
+                network_seconds_per_byte=network_seconds_per_byte,
+            )
+
+    # -- write path -----------------------------------------------------------
+    def index(self, source: dict) -> int:
+        """Write through the primary, forwarding the translog entry to every
+        replica in real time (§5.2's durability channel)."""
+        row_id = self.primary.index(source)
+        entry = self.primary.translog._entries[-1]
+        for replicator in self.replicators.values():
+            replicator.sync_translog_entry(entry)
+        return row_id
+
+    def update(self, doc_id: object, changes: dict) -> int:
+        row_id = self.primary.update(doc_id, changes)
+        entry = self.primary.translog._entries[-1]
+        for replicator in self.replicators.values():
+            replicator.sync_translog_entry(entry)
+        return row_id
+
+    def delete(self, doc_id: object) -> None:
+        self.primary.delete(doc_id)
+        entry = self.primary.translog._entries[-1]
+        for replicator in self.replicators.values():
+            replicator.sync_translog_entry(entry)
+
+    # -- replication rounds -------------------------------------------------------
+    def replicate_all(self, now: float | None = None) -> int:
+        """Run one quick incremental round on every replica; returns how
+        many replicas finished in sync. A replica that raises keeps the
+        others replicating (slow/faulty replicas must not block the set)."""
+        synced = 0
+        errors: list[str] = []
+        for name, replicator in self.replicators.items():
+            try:
+                replicator.replicate(now)
+            except ReplicationError as exc:
+                errors.append(f"{name}: {exc}")
+                continue
+            if replicator.in_sync():
+                synced += 1
+        if errors and synced == 0:
+            raise ReplicationError("; ".join(errors))
+        return synced
+
+    # -- introspection -----------------------------------------------------------
+    def status(self) -> list[ReplicaStatus]:
+        out = []
+        for name, replicator in self.replicators.items():
+            out.append(
+                ReplicaStatus(
+                    name=name,
+                    in_sync=replicator.in_sync(),
+                    doc_count=replicator.replica_doc_count(),
+                    translog_entries=len(replicator.replica_translog),
+                    bytes_copied=replicator.accounting.bytes_copied,
+                )
+            )
+        return out
+
+    def in_sync_count(self) -> int:
+        return sum(1 for s in self.status() if s.in_sync)
+
+    # -- failover -----------------------------------------------------------------
+    def promote(self, name: str | None = None) -> ShardEngine:
+        """Promote a replica to primary (primary/replica switch).
+
+        Picks the most up-to-date replica (longest translog) when *name* is
+        omitted — the election rule that minimizes data loss.
+        """
+        if not self.replicators:
+            raise ReplicationError("no replicas to promote")
+        if name is None:
+            name = max(
+                self.replicators,
+                key=lambda n: len(self.replicators[n].replica_translog),
+            )
+        if name not in self.replicators:
+            raise ReplicationError(f"unknown replica {name!r}")
+        return self.replicators[name].promote_replica()

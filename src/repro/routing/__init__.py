@@ -1,0 +1,33 @@
+"""Routing policies: hashing, double hashing, dynamic secondary hashing.
+
+This package implements the paper's core contribution. A routing policy maps
+a write (tenant id ``k1``, record id ``k2``, creation time ``t_c``) to one of
+``N`` shards, and maps a tenant-scoped query to the set of consecutive shards
+that may hold the tenant's records.
+
+* :class:`HashRouting` — ``p = h1(k1) mod N`` (Figure 2a; no balancing).
+* :class:`DoubleHashRouting` — ``p = (h1(k1) + h2(k2) mod s) mod N`` with a
+  global static ``s`` (Figure 2b; balanced but expensive queries).
+* :class:`DynamicSecondaryHashRouting` — ``p = (h1(k1) + h2(k2) mod L(k1))
+  mod N`` where ``L`` is looked up in an append-only
+  :class:`~repro.routing.rules.RuleList` (Figure 2c; Eq. 2).
+"""
+
+from repro.routing.policies import (
+    DoubleHashRouting,
+    DynamicSecondaryHashRouting,
+    HashRouting,
+    RoutingPolicy,
+    ShardRange,
+)
+from repro.routing.rules import RuleList, SecondaryHashingRule
+
+__all__ = [
+    "RoutingPolicy",
+    "HashRouting",
+    "DoubleHashRouting",
+    "DynamicSecondaryHashRouting",
+    "SecondaryHashingRule",
+    "RuleList",
+    "ShardRange",
+]

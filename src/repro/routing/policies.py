@@ -1,0 +1,163 @@
+"""Write- and read-routing policies (Eq. 1 and Eq. 2 of the paper).
+
+All policies share the same interface: :meth:`RoutingPolicy.route_write`
+returns the shard id for one write; :meth:`RoutingPolicy.query_shards`
+returns the :class:`ShardRange` of consecutive shards a tenant-scoped query
+must fan out to. The number of shards touched by a query is exactly the
+trade-off the paper studies — ``s = 1`` gives cheap queries but no balancing,
+``s = N`` gives perfect balancing but all-shard queries.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.hashing import h1, h2
+from repro.routing.rules import RuleList
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """A wrap-around range of consecutive shards ``[start, start + length)``.
+
+    Dynamic secondary hashing always places a tenant on *consecutive* shards
+    starting at ``h1(k1) mod N``; queries therefore fan out to a contiguous
+    (modulo N) range rather than an arbitrary set.
+    """
+
+    start: int
+    length: int
+    total: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.length <= self.total:
+            raise ConfigurationError(
+                f"range length {self.length} not in [1, {self.total}]"
+            )
+        if not 0 <= self.start < self.total:
+            raise ConfigurationError(f"start {self.start} not in [0, {self.total})")
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[int]:
+        for offset in range(self.length):
+            yield (self.start + offset) % self.total
+
+    def __contains__(self, shard: int) -> bool:
+        offset = (shard - self.start) % self.total
+        return offset < self.length
+
+    def as_set(self) -> frozenset:
+        return frozenset(self)
+
+
+class RoutingPolicy(ABC):
+    """Maps writes to shards and tenant queries to shard ranges."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Short policy name used in benchmark output."""
+
+    @abstractmethod
+    def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        """Return the shard id for a write of (*tenant_id*, *record_id*)."""
+
+    @abstractmethod
+    def query_shards(self, tenant_id: object) -> ShardRange:
+        """Return the consecutive shards holding *tenant_id*'s records."""
+
+    def base_shard(self, tenant_id: object) -> int:
+        """Return ``h1(k1) mod N``, the first shard of the tenant's range."""
+        return h1(tenant_id) % self.num_shards
+
+
+class HashRouting(RoutingPolicy):
+    """Plain hashing (Figure 2a): every record of a tenant goes to one shard.
+
+    The baseline policy with no workload balancing — a hot tenant saturates
+    exactly one shard (and its replica's node) while the rest idle.
+    """
+
+    @property
+    def name(self) -> str:
+        return "hashing"
+
+    def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        return self.base_shard(tenant_id)
+
+    def query_shards(self, tenant_id: object) -> ShardRange:
+        return ShardRange(self.base_shard(tenant_id), 1, self.num_shards)
+
+
+class DoubleHashRouting(RoutingPolicy):
+    """Static double hashing (Eq. 1, Figure 2b).
+
+    Routes to ``(h1(k1) + h2(k2) mod s) mod N`` with a global static offset
+    ``s``: every tenant — hot or cold — spreads over exactly ``s`` consecutive
+    shards, so every tenant query costs ``s`` subqueries. The paper's
+    evaluation uses ``s = 8``.
+    """
+
+    def __init__(self, num_shards: int, offset: int = 8) -> None:
+        super().__init__(num_shards)
+        if not 1 <= offset <= num_shards:
+            raise ConfigurationError(
+                f"offset must be in [1, {num_shards}], got {offset}"
+            )
+        self.offset = offset
+
+    @property
+    def name(self) -> str:
+        return "double-hashing"
+
+    def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        return (self.base_shard(tenant_id) + h2(record_id) % self.offset) % self.num_shards
+
+    def query_shards(self, tenant_id: object) -> ShardRange:
+        return ShardRange(self.base_shard(tenant_id), self.offset, self.num_shards)
+
+
+class DynamicSecondaryHashRouting(RoutingPolicy):
+    """Dynamic secondary hashing (Eq. 2, Figure 2c) — the paper's contribution.
+
+    The static offset is replaced with ``L(k1)``, looked up per record in the
+    append-only :class:`RuleList`: rules are matched on (tenant, record
+    creation time) so historical records keep routing to the shards that hold
+    them (read-your-writes, §4.2) while new records of a hot tenant spread
+    wider as the balancer commits larger offsets.
+    """
+
+    def __init__(self, num_shards: int, rules: RuleList | None = None) -> None:
+        super().__init__(num_shards)
+        self.rules = rules if rules is not None else RuleList()
+
+    @property
+    def name(self) -> str:
+        return "dynamic-secondary-hashing"
+
+    def offset_for(self, tenant_id: object, created_time: float) -> int:
+        """Return ``L(k1)`` for a record created at *created_time*."""
+        return self.rules.match(tenant_id, created_time)
+
+    def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        offset = self.offset_for(tenant_id, created_time)
+        return (self.base_shard(tenant_id) + h2(record_id) % offset) % self.num_shards
+
+    def query_shards(self, tenant_id: object) -> ShardRange:
+        # Queries must cover every shard that may hold historical records:
+        # the union over all committed offsets, i.e. the largest one.
+        return ShardRange(
+            self.base_shard(tenant_id),
+            self.rules.max_offset(tenant_id),
+            self.num_shards,
+        )

@@ -1,0 +1,144 @@
+"""Self-check: a fast end-to-end sanity pass (``python -m repro.selfcheck``).
+
+Runs a miniature version of every major path — write/SQL round trip,
+balancing + consensus, replication failover, and a short simulation — and
+prints one line per check. Exits non-zero on the first failure. This is the
+"doctor" command an open-source release ships so users can verify an
+installation in seconds.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+from repro import ESDB, EsdbConfig
+from repro.balancer import BalancerConfig
+from repro.cluster import ClusterTopology
+
+
+def _check_write_query_roundtrip() -> str:
+    db = ESDB(
+        EsdbConfig(
+            topology=ClusterTopology(num_nodes=2, num_shards=8),
+            auto_refresh_every=None,
+        )
+    )
+    for i in range(20):
+        db.write(
+            {
+                "transaction_id": i,
+                "tenant_id": "t",
+                "created_time": float(i),
+                "status": i % 2,
+                "auction_title": "red cotton shirt",
+                "attributes": "activity:sale",
+            }
+        )
+    db.refresh()
+    result = db.execute_sql(
+        "SELECT COUNT(*) FROM transaction_logs WHERE tenant_id = 't' AND status = 1"
+    )
+    assert result.scalar() == 10, result.rows
+    full_text = db.execute_sql(
+        "SELECT * FROM t WHERE tenant_id = 't' AND MATCH(auction_title, 'cotton') LIMIT 3"
+    )
+    assert len(full_text.rows) == 3
+    return "20 writes, SQL aggregate + full-text verified"
+
+
+def _check_balancing_and_consensus() -> str:
+    db = ESDB(
+        EsdbConfig(
+            topology=ClusterTopology(num_nodes=2, num_shards=16),
+            auto_refresh_every=None,
+            balancer=BalancerConfig(hotspot_share=0.3, target_share_per_shard=0.1),
+        )
+    )
+    for i in range(100):
+        db.write(
+            {"transaction_id": i, "tenant_id": "whale", "created_time": i * 0.01}
+        )
+    committed = db.rebalance()
+    assert committed, "hotspot not split"
+    assert db.tenant_fanout("whale") > 1
+    db.refresh()
+    hits = db.execute_sql("SELECT COUNT(*) FROM t WHERE tenant_id = 'whale'")
+    assert hits.scalar() == 100
+    return f"hotspot split to {db.tenant_fanout('whale')} shards via consensus"
+
+
+def _check_replication_failover() -> str:
+    db = ESDB(
+        EsdbConfig(
+            topology=ClusterTopology(num_nodes=2, num_shards=4),
+            auto_refresh_every=None,
+            replication="physical",
+        )
+    )
+    for i in range(30):
+        db.write({"transaction_id": i, "tenant_id": 1, "created_time": float(i)})
+    db.replicate()
+    for shard_id in list(db.replica_sets):
+        db.fail_primary(shard_id)
+    db.refresh()
+    assert db.execute_sql("SELECT COUNT(*) FROM t WHERE tenant_id = 1").scalar() == 30
+    return "physical replication + full primary failover, zero loss"
+
+
+def _check_simulation() -> str:
+    from repro.routing import DynamicSecondaryHashRouting, HashRouting
+    from repro.sim import SimulationConfig, WriteSimulation
+    from repro.workload import StaticScenario, WorkloadConfig
+
+    config = SimulationConfig(sample_per_tick=200)
+    workload = WorkloadConfig(num_tenants=5_000, theta=1.5, seed=0)
+    results = {}
+    for name, policy in (
+        ("hashing", HashRouting(config.num_shards)),
+        ("dynamic", DynamicSecondaryHashRouting(config.num_shards)),
+    ):
+        sim = WriteSimulation(
+            policy,
+            StaticScenario(rate=200_000, duration=20.0),
+            config=config,
+            workload=workload,
+        )
+        results[name] = sim.run().throughput
+    assert results["dynamic"] > results["hashing"], results
+    return (
+        f"simulator: dynamic {results['dynamic']:,.0f} TPS > "
+        f"hashing {results['hashing']:,.0f} TPS at θ=1.5"
+    )
+
+
+CHECKS: list[tuple[str, Callable[[], str]]] = [
+    ("write/query round trip", _check_write_query_roundtrip),
+    ("balancing + consensus", _check_balancing_and_consensus),
+    ("replication failover", _check_replication_failover),
+    ("performance simulation", _check_simulation),
+]
+
+
+def main() -> int:
+    failures = 0
+    for name, check in CHECKS:
+        start = time.perf_counter()
+        try:
+            detail = check()
+        except Exception as exc:  # noqa: BLE001 — report and continue
+            failures += 1
+            print(f"[FAIL] {name}: {exc!r}")
+            continue
+        elapsed = time.perf_counter() - start
+        print(f"[ ok ] {name}: {detail} ({elapsed:.1f}s)")
+    if failures:
+        print(f"{failures} check(s) failed")
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""Cluster performance simulator.
+
+The paper's write-side results (Figures 10–15, 19) are queueing phenomena:
+a routing policy concentrates or spreads arrival mass over nodes with finite
+service capacity, and throughput/delay follow. This package implements a
+fluid-flow simulation over the real routing/balancer/consensus code:
+
+* every tick, the workload scenario produces an arrival rate; a seeded
+  sample of writes is routed through the *actual* policy objects to obtain
+  per-shard arrival mass;
+* each node serves work (primary writes + replica work, weighted by the
+  replication cost model) up to its capacity; excess queues;
+* completed work, backlog-induced delay, per-node/per-shard distribution and
+  CPU usage are recorded as time series;
+* the load balancer + consensus layer run in-loop for the dynamic policy, so
+  rule commits take effect with the real effective-time lag.
+"""
+
+from repro.sim.metrics import MetricsCollector, SimulationReport
+from repro.sim.microsim import MicroReport, MicroWriteSimulation
+from repro.sim.models import ReplicationCostModel, SimulationConfig
+from repro.sim.querymodel import (
+    QueryCostModel,
+    QueryScaleResult,
+    commit_paper_scale_rules,
+    model_query_throughput,
+)
+from repro.sim.simulator import WriteSimulation, run_policy_comparison
+
+__all__ = [
+    "SimulationConfig",
+    "ReplicationCostModel",
+    "MetricsCollector",
+    "SimulationReport",
+    "WriteSimulation",
+    "MicroWriteSimulation",
+    "MicroReport",
+    "run_policy_comparison",
+    "QueryCostModel",
+    "QueryScaleResult",
+    "model_query_throughput",
+    "commit_paper_scale_rules",
+]

@@ -1,0 +1,72 @@
+"""Inverted index: term → posting list.
+
+Used for keyword fields (exact terms) and analyzed text fields (tokens from
+the analyzer). This is the "Index Search" access path in the paper's query
+plans (Figure 7): one lookup produces the posting list of rows containing a
+term.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator
+
+from repro.storage.postings import PostingList
+
+
+class InvertedIndex:
+    """Mutable term dictionary mapping terms to sorted row-id postings.
+
+    Mutability is only used while a segment is being built in the in-memory
+    buffer; once frozen into a :class:`~repro.storage.segment.Segment` the
+    index is never written again (Lucene's immutable-segment model).
+    """
+
+    def __init__(self) -> None:
+        self._postings: dict[object, list[int]] = defaultdict(list)
+        self._frozen: dict[object, PostingList] | None = None
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._postings
+
+    def terms(self) -> Iterator[object]:
+        return iter(self._postings)
+
+    def add(self, term: object, row_id: int) -> None:
+        """Index *row_id* under *term*. Row ids must arrive non-decreasing
+        (they do: the buffer assigns them sequentially)."""
+        self._frozen = None
+        bucket = self._postings[term]
+        if not bucket or bucket[-1] != row_id:
+            bucket.append(row_id)
+
+    def add_all(self, terms: Iterable[object], row_id: int) -> None:
+        for term in terms:
+            self.add(term, row_id)
+
+    def postings(self, term: object) -> PostingList:
+        """Return the posting list for *term* (empty when absent)."""
+        bucket = self._postings.get(term)
+        if bucket is None:
+            return PostingList.empty()
+        return PostingList(bucket, presorted=True)
+
+    def doc_frequency(self, term: object) -> int:
+        return len(self._postings.get(term, ()))
+
+    def freeze(self) -> dict[object, PostingList]:
+        """Return an immutable snapshot {term: postings} for segment sealing."""
+        if self._frozen is None:
+            self._frozen = {
+                term: PostingList(bucket, presorted=True)
+                for term, bucket in self._postings.items()
+            }
+        return self._frozen
+
+    def memory_terms(self) -> int:
+        """Approximate index size in stored (term, row) pairs — the storage
+        overhead metric used by frequency-based indexing (§6.3.3)."""
+        return sum(len(bucket) for bucket in self._postings.values())

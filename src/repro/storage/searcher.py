@@ -1,0 +1,82 @@
+"""Point-in-time searchers (Lucene's IndexReader/acquire-searcher model).
+
+A searcher pins the shard's segment list at acquisition time: queries
+through it see exactly the documents that were searchable at that instant,
+unaffected by concurrent refreshes and merges. This is what makes
+Elasticsearch reads repeatable while writes stream in, and what the
+physical-replication snapshots (§5.2) rely on.
+
+Deletes are intentionally visible through an open searcher (live-bitmap
+checks read current state) — matching Lucene, where a reader sees deletes
+applied to its own segments but not newly flushed segments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import StorageError
+from repro.storage.postings import PostingList
+from repro.storage.segment import Segment
+
+
+class Searcher:
+    """An immutable view over a pinned list of segments."""
+
+    def __init__(self, segments: list[Segment], generation: int) -> None:
+        self._segments = list(segments)
+        self.generation = generation
+        self._closed = False
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        self._closed = True
+
+    def __enter__(self) -> "Searcher":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageError("searcher is closed")
+
+    # -- read API -------------------------------------------------------------
+    @property
+    def segment_count(self) -> int:
+        self._check_open()
+        return len(self._segments)
+
+    def doc_count(self) -> int:
+        self._check_open()
+        return sum(s.live_count for s in self._segments)
+
+    def term_postings(self, field_name: str, term: object) -> PostingList:
+        self._check_open()
+        return PostingList.union_all(
+            [s.term_postings(field_name, term) for s in self._segments]
+        )
+
+    def text_postings(self, field_name: str, text: str) -> PostingList:
+        self._check_open()
+        return PostingList.union_all(
+            [s.text_postings(field_name, text) for s in self._segments]
+        )
+
+    def numeric_range(self, field_name: str, low, high, **bounds) -> PostingList:
+        self._check_open()
+        return PostingList.union_all(
+            [s.numeric_range(field_name, low, high, **bounds) for s in self._segments]
+        )
+
+    def fetch(self, rows: PostingList) -> list:
+        self._check_open()
+        out = []
+        for row in rows:
+            for segment in self._segments:
+                doc = segment.get_document(row)
+                if doc is not None:
+                    out.append(doc)
+                    break
+        return out

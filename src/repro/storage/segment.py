@@ -1,0 +1,240 @@
+"""Immutable segments.
+
+A segment is a sealed batch of documents with all its index structures
+(inverted indexes per field, sorted numeric indexes, composite indexes, doc
+values) plus a live-docs bitmap for deletes. Segments are produced by the
+in-memory buffer at refresh time and combined by the merge policy; they are
+never modified except for marking deletions — Lucene's model, which is what
+makes physical replication (shipping whole segment files) correct.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.analysis import StandardAnalyzer
+from repro.storage.composite import CompositeIndex
+from repro.storage.document import Document, FieldType, Schema, parse_attributes
+from repro.storage.docvalues import DocValues
+from repro.storage.inverted_index import InvertedIndex
+from repro.storage.postings import PostingList
+from repro.storage.sorted_index import SortedIndex
+
+_segment_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """Index configuration shared by every segment of a shard.
+
+    Attributes:
+        schema: field types.
+        composite_columns: column tuples to build composite indexes on.
+        scan_columns: columns kept only in doc values for sequential scan.
+        indexed_subattributes: names of "attributes" sub-attributes that get
+            their own inverted-index terms (frequency-based indexing, §3.2).
+            None means index every sub-attribute (the expensive default ESDB
+            moves away from).
+    """
+
+    schema: Schema
+    composite_columns: tuple = ()
+    scan_columns: frozenset = frozenset()
+    indexed_subattributes: frozenset | None = None
+
+
+class Segment:
+    """One immutable segment of a shard."""
+
+    def __init__(
+        self,
+        spec: SegmentSpec,
+        base_row_id: int,
+        analyzer: StandardAnalyzer | None = None,
+        generation: int = 0,
+    ) -> None:
+        self.segment_id = next(_segment_ids)
+        self.spec = spec
+        self.base_row_id = base_row_id
+        self.generation = generation  # merge depth: 0 = fresh refresh
+        self._analyzer = analyzer or StandardAnalyzer()
+        self._docs: list[Document] = []
+        self._live: list[bool] = []
+        self._term_indexes: dict[str, InvertedIndex] = {}
+        self._numeric_indexes: dict[str, SortedIndex] = {}
+        self._composites: dict[str, CompositeIndex] = {}
+        self._doc_values: dict[str, DocValues] = {}
+        self._subattr_index = InvertedIndex()
+        self._sealed = False
+        for columns in spec.composite_columns:
+            index = CompositeIndex(columns)
+            self._composites[index.name] = index
+
+    # -- sizes -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._docs)
+
+    @property
+    def live_count(self) -> int:
+        return sum(self._live)
+
+    @property
+    def deleted_count(self) -> int:
+        return len(self._live) - self.live_count
+
+    @property
+    def sealed(self) -> bool:
+        return self._sealed
+
+    def row_ids(self) -> range:
+        return range(self.base_row_id, self.base_row_id + len(self._docs))
+
+    # -- construction -----------------------------------------------------------
+    def add_document(self, doc: Document) -> int:
+        """Index one document; returns its shard-global row id."""
+        if self._sealed:
+            raise StorageError(f"segment {self.segment_id} is sealed")
+        row_id = self.base_row_id + len(self._docs)
+        self._docs.append(doc)
+        self._live.append(True)
+        schema = self.spec.schema
+        for name, value in doc.source.items():
+            if value is None:
+                continue
+            ftype = schema.type_of(name)
+            if ftype is FieldType.KEYWORD:
+                self._term_index(name).add(value, row_id)
+                self._dv(name).append(row_id, value)
+            elif ftype is FieldType.NUMERIC:
+                self._numeric_index(name).add(float(value), row_id)
+                self._dv(name).append(row_id, value)
+            elif ftype is FieldType.TEXT:
+                self._term_index(name).add_all(self._analyzer.analyze(str(value)), row_id)
+                # Raw value kept in doc values so LIKE/wildcard scans work.
+                self._dv(name).append(row_id, value)
+            elif ftype is FieldType.ATTRIBUTES:
+                self._index_attributes(str(value), row_id)
+                self._dv(name).append(row_id, value)
+        for composite in self._composites.values():
+            values = [doc.get(column) for column in composite.columns]
+            composite.add(values, row_id)
+        return row_id
+
+    def _index_attributes(self, raw: str, row_id: int) -> None:
+        """Index the concatenated sub-attribute column.
+
+        Only sub-attributes selected by frequency-based indexing receive
+        index terms; the raw column always lands in doc values so unindexed
+        sub-attributes remain queryable by (slow) scan.
+        """
+        allowed = self.spec.indexed_subattributes
+        for key, value in parse_attributes(raw).items():
+            if allowed is not None and key not in allowed:
+                continue
+            self._subattr_index.add((key, value), row_id)
+
+    def seal(self) -> None:
+        """Freeze the segment: no more writes; sort numeric/composite blocks."""
+        for index in self._numeric_indexes.values():
+            index.seal()
+        for composite in self._composites.values():
+            composite.seal()
+        self._sealed = True
+
+    # -- deletes -----------------------------------------------------------------
+    def mark_deleted(self, row_id: int) -> bool:
+        """Mark *row_id* deleted; returns False when out of range."""
+        index = row_id - self.base_row_id
+        if 0 <= index < len(self._live):
+            was_live = self._live[index]
+            self._live[index] = False
+            return was_live
+        return False
+
+    def is_live(self, row_id: int) -> bool:
+        index = row_id - self.base_row_id
+        return 0 <= index < len(self._live) and self._live[index]
+
+    def filter_live(self, rows: PostingList) -> PostingList:
+        return PostingList([r for r in rows if self.is_live(r)], presorted=True)
+
+    # -- access paths ---------------------------------------------------------
+    def _term_index(self, name: str) -> InvertedIndex:
+        if name not in self._term_indexes:
+            self._term_indexes[name] = InvertedIndex()
+        return self._term_indexes[name]
+
+    def _numeric_index(self, name: str) -> SortedIndex:
+        if name not in self._numeric_indexes:
+            self._numeric_indexes[name] = SortedIndex()
+        return self._numeric_indexes[name]
+
+    def _dv(self, name: str) -> DocValues:
+        if name not in self._doc_values:
+            self._doc_values[name] = DocValues(self.base_row_id)
+        return self._doc_values[name]
+
+    def term_postings(self, field_name: str, term: object) -> PostingList:
+        index = self._term_indexes.get(field_name)
+        if index is None:
+            return PostingList.empty()
+        return self.filter_live(index.postings(term))
+
+    def text_postings(self, field_name: str, text: str) -> PostingList:
+        """Match documents containing *all* analyzed tokens of *text*."""
+        index = self._term_indexes.get(field_name)
+        if index is None:
+            return PostingList.empty()
+        tokens = self._analyzer.analyze(text)
+        if not tokens:
+            return PostingList.empty()
+        lists = [index.postings(token) for token in tokens]
+        return self.filter_live(PostingList.intersect_all(lists))
+
+    def numeric_range(self, field_name: str, low, high, **bounds) -> PostingList:
+        index = self._numeric_indexes.get(field_name)
+        if index is None:
+            return PostingList.empty()
+        return self.filter_live(index.range(low, high, **bounds))
+
+    def subattribute_postings(self, key: str, value: str) -> PostingList:
+        return self.filter_live(self._subattr_index.postings((key, value)))
+
+    def has_subattribute_index(self, key: str) -> bool:
+        allowed = self.spec.indexed_subattributes
+        return allowed is None or key in allowed
+
+    def composite(self, name: str) -> CompositeIndex | None:
+        return self._composites.get(name)
+
+    def composites(self) -> dict[str, CompositeIndex]:
+        return dict(self._composites)
+
+    def doc_values(self, field_name: str) -> DocValues | None:
+        return self._doc_values.get(field_name)
+
+    def get_document(self, row_id: int) -> Document | None:
+        index = row_id - self.base_row_id
+        if 0 <= index < len(self._docs) and self._live[index]:
+            return self._docs[index]
+        return None
+
+    def iter_live(self) -> Iterator[tuple[int, Document]]:
+        for offset, (doc, live) in enumerate(zip(self._docs, self._live)):
+            if live:
+                yield self.base_row_id + offset, doc
+
+    # -- accounting -----------------------------------------------------------
+    def index_memory(self) -> int:
+        """Stored (term, row) pairs across all inverted indexes — the index
+        cost frequency-based indexing trades against query latency."""
+        total = sum(ix.memory_terms() for ix in self._term_indexes.values())
+        total += self._subattr_index.memory_terms()
+        return total
+
+    def approx_bytes(self) -> int:
+        """Rough segment size used by the merge policy and replication model."""
+        return sum(len(repr(doc.source)) for doc in self._docs)

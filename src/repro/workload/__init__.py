@@ -1,0 +1,35 @@
+"""Workload generation: Zipf-skewed multi-tenant transaction logs (§6.1).
+
+The paper's benchmark samples tenant ids from a Zipf distribution with
+skewness factor θ ∈ {0, 0.5, 1, 1.5, 2} (θ=1 ≈ production), generates
+transaction-log documents from the production template, and scripts hotspot
+scenarios (Fig 14's injected hotspot groups, Fig 19's Single's-Day spike).
+"""
+
+from repro.workload.zipf import ZipfSampler, zipf_weights
+from repro.workload.generator import (
+    SUB_ATTRIBUTE_COUNT,
+    TransactionLogGenerator,
+    WorkloadConfig,
+)
+from repro.workload.scenarios import (
+    HotspotShiftScenario,
+    SinglesDayScenario,
+    StaticScenario,
+)
+from repro.workload.trace import TraceInfo, load_into, read_trace, write_trace
+
+__all__ = [
+    "TraceInfo",
+    "write_trace",
+    "read_trace",
+    "load_into",
+    "ZipfSampler",
+    "zipf_weights",
+    "TransactionLogGenerator",
+    "WorkloadConfig",
+    "SUB_ATTRIBUTE_COUNT",
+    "StaticScenario",
+    "HotspotShiftScenario",
+    "SinglesDayScenario",
+]

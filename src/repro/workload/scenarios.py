@@ -1,0 +1,157 @@
+"""Scripted workload scenarios for the time-series experiments.
+
+* :class:`StaticScenario` — constant rate, fixed hotspot mapping (Figs
+  10–13, 15, 16).
+* :class:`HotspotShiftScenario` — the Figure 14 experiment: at scripted
+  times the rank→tenant mapping is rotated so a *new* group of tenants
+  becomes hot, testing how fast the balancer adapts.
+* :class:`SinglesDayScenario` — the Figure 19 experiment: a quiet baseline
+  rate that jumps by a large spike factor at "midnight" and decays, with a
+  fresh hotspot group at the spike (promotions start at 00:00).
+
+A scenario is an iterator of per-tick instructions: ``(time, rate)`` plus
+optional hotspot remapping applied to the generator before the tick's
+documents are drawn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import TransactionLogGenerator
+
+
+@dataclass(frozen=True)
+class Tick:
+    """One scenario step: generate at *rate* for the tick starting at *time*."""
+
+    time: float
+    rate: float
+    hotspot_shift: int = 0  # rotate rank→tenant mapping by this much first
+
+
+class Scenario:
+    """Base class: yields :class:`Tick` objects covering [0, duration)."""
+
+    def __init__(self, duration: float, tick_seconds: float = 1.0) -> None:
+        if duration <= 0 or tick_seconds <= 0:
+            raise ConfigurationError("duration and tick_seconds must be positive")
+        self.duration = duration
+        self.tick_seconds = tick_seconds
+
+    def ticks(self) -> Iterator[Tick]:
+        raise NotImplementedError
+
+    def apply(self, generator: TransactionLogGenerator, tick: Tick) -> None:
+        """Apply a tick's side effects (hotspot remapping) to *generator*."""
+        if tick.hotspot_shift:
+            generator.tenants.rotate_hotspots(tick.hotspot_shift)
+
+
+class StaticScenario(Scenario):
+    """Constant generating rate with a fixed tenant mapping."""
+
+    def __init__(self, rate: float, duration: float, tick_seconds: float = 1.0) -> None:
+        super().__init__(duration, tick_seconds)
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.rate = rate
+
+    def ticks(self) -> Iterator[Tick]:
+        t = 0.0
+        while t < self.duration:
+            yield Tick(time=t, rate=self.rate)
+            t += self.tick_seconds
+
+
+class HotspotShiftScenario(Scenario):
+    """Constant rate with hotspot-group changes at scripted times (Fig 14).
+
+    The paper introduces two hotspot groups over six minutes by changing the
+    mapping between tenant ids and Zipf sampling results.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        duration: float = 360.0,
+        shift_times: tuple = (60.0, 210.0),
+        shift_amount: int = 1000,
+        tick_seconds: float = 1.0,
+    ) -> None:
+        super().__init__(duration, tick_seconds)
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        self.rate = rate
+        self.shift_times = tuple(sorted(shift_times))
+        self.shift_amount = shift_amount
+
+    def ticks(self) -> Iterator[Tick]:
+        pending = list(self.shift_times)
+        t = 0.0
+        while t < self.duration:
+            shift = 0
+            if pending and t >= pending[0]:
+                pending.pop(0)
+                shift = self.shift_amount
+            yield Tick(time=t, rate=self.rate, hotspot_shift=shift)
+            t += self.tick_seconds
+
+
+class SinglesDayScenario(Scenario):
+    """The Single's-Day kickoff (Fig 19): baseline → spike at midnight →
+    exponential decay back towards a high plateau.
+
+    Attributes:
+        baseline_rate: pre-midnight rate.
+        spike_factor: rate multiplier at the spike instant.
+        spike_time: when the festival starts (seconds into the scenario).
+        decay_seconds: e-folding time of the spike decay.
+        plateau_factor: long-run multiplier after the initial burst.
+    """
+
+    def __init__(
+        self,
+        baseline_rate: float,
+        duration: float = 1800.0,
+        spike_time: float = 600.0,
+        spike_factor: float = 10.0,
+        decay_seconds: float = 120.0,
+        plateau_factor: float = 3.0,
+        hotspot_shift: int = 500,
+        tick_seconds: float = 1.0,
+    ) -> None:
+        super().__init__(duration, tick_seconds)
+        if baseline_rate <= 0 or spike_factor < 1 or plateau_factor < 1:
+            raise ConfigurationError("invalid spike parameters")
+        self.baseline_rate = baseline_rate
+        self.spike_time = spike_time
+        self.spike_factor = spike_factor
+        self.decay_seconds = decay_seconds
+        self.plateau_factor = plateau_factor
+        self.hotspot_shift = hotspot_shift
+
+    def rate_at(self, t: float) -> float:
+        """Instantaneous generating rate at time *t*."""
+        if t < self.spike_time:
+            return self.baseline_rate
+        import math
+
+        elapsed = t - self.spike_time
+        excess = (self.spike_factor - self.plateau_factor) * math.exp(
+            -elapsed / self.decay_seconds
+        )
+        return self.baseline_rate * (self.plateau_factor + excess)
+
+    def ticks(self) -> Iterator[Tick]:
+        shifted = False
+        t = 0.0
+        while t < self.duration:
+            shift = 0
+            if not shifted and t >= self.spike_time:
+                shifted = True
+                shift = self.hotspot_shift  # promotions make new sellers hot
+            yield Tick(time=t, rate=self.rate_at(t), hotspot_shift=shift)
+            t += self.tick_seconds

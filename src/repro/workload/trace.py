@@ -1,0 +1,176 @@
+"""Workload traces: persist generated workloads and replay them.
+
+The paper's production experiments run against recorded transaction-log
+traces. This module gives the reproduction the same workflow: generate a
+deterministic trace once, save it as JSON Lines, and replay it — into an
+:class:`~repro.esdb.ESDB` instance, into a benchmark, or into another tool —
+so that two systems under comparison consume byte-identical workloads.
+
+Also exposes a tiny CLI::
+
+    python -m repro.workload.trace --out trace.jsonl --rate 500 --duration 10
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigurationError
+from repro.workload.generator import TransactionLogGenerator, WorkloadConfig
+
+TRACE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceInfo:
+    """Header record describing how a trace was produced."""
+
+    version: int
+    num_tenants: int
+    theta: float
+    seed: int
+    rate: float
+    duration: float
+
+    def to_json(self) -> dict:
+        return {
+            "type": "header",
+            "version": self.version,
+            "num_tenants": self.num_tenants,
+            "theta": self.theta,
+            "seed": self.seed,
+            "rate": self.rate,
+            "duration": self.duration,
+        }
+
+    @staticmethod
+    def from_json(payload: dict) -> "TraceInfo":
+        if payload.get("type") != "header":
+            raise ConfigurationError("trace does not start with a header record")
+        if payload.get("version") != TRACE_VERSION:
+            raise ConfigurationError(
+                f"unsupported trace version {payload.get('version')!r}"
+            )
+        return TraceInfo(
+            version=payload["version"],
+            num_tenants=payload["num_tenants"],
+            theta=payload["theta"],
+            seed=payload["seed"],
+            rate=payload["rate"],
+            duration=payload["duration"],
+        )
+
+
+def write_trace(
+    path: str | Path,
+    *,
+    rate: float,
+    duration: float,
+    workload: WorkloadConfig | None = None,
+) -> TraceInfo:
+    """Generate a deterministic trace and write it as JSON Lines.
+
+    The first line is the header; every following line is one document.
+    Returns the header for convenience.
+    """
+    config = workload or WorkloadConfig()
+    info = TraceInfo(
+        version=TRACE_VERSION,
+        num_tenants=config.num_tenants,
+        theta=config.theta,
+        seed=config.seed,
+        rate=rate,
+        duration=duration,
+    )
+    generator = TransactionLogGenerator(config)
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(info.to_json()) + "\n")
+        for doc in generator.stream(rate=rate, duration=duration):
+            handle.write(json.dumps(doc, ensure_ascii=False) + "\n")
+    return info
+
+
+def read_trace(path: str | Path) -> tuple[TraceInfo, Iterator[dict]]:
+    """Open a trace; returns ``(header, documents iterator)``.
+
+    The iterator is lazy so arbitrarily large traces replay in constant
+    memory. Malformed lines raise :class:`ConfigurationError` with the line
+    number.
+    """
+    path = Path(path)
+    handle = path.open("r", encoding="utf-8")
+    first = handle.readline()
+    if not first:
+        handle.close()
+        raise ConfigurationError(f"trace {path} is empty")
+    try:
+        info = TraceInfo.from_json(json.loads(first))
+    except json.JSONDecodeError as exc:
+        handle.close()
+        raise ConfigurationError(f"trace {path} header is not JSON") from exc
+
+    def documents() -> Iterator[dict]:
+        with handle:
+            for line_number, line in enumerate(handle, start=2):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ConfigurationError(
+                        f"trace {path} line {line_number} is not JSON"
+                    ) from exc
+
+    return info, documents()
+
+
+def load_into(db, documents: Iterable[dict], *, refresh: bool = True) -> int:
+    """Replay trace *documents* into an :class:`~repro.esdb.ESDB` instance.
+
+    Returns the number of documents written.
+    """
+    count = 0
+    for doc in documents:
+        db.write(doc)
+        count += 1
+    if refresh:
+        db.refresh()
+    return count
+
+
+def _main(argv: list | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workload.trace",
+        description="Generate a deterministic transaction-log trace (JSONL).",
+    )
+    parser.add_argument("--out", required=True, help="output .jsonl path")
+    parser.add_argument("--rate", type=float, default=1000.0, help="docs/second")
+    parser.add_argument("--duration", type=float, default=10.0, help="seconds")
+    parser.add_argument("--tenants", type=int, default=100_000)
+    parser.add_argument("--theta", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    info = write_trace(
+        args.out,
+        rate=args.rate,
+        duration=args.duration,
+        workload=WorkloadConfig(
+            num_tenants=args.tenants, theta=args.theta, seed=args.seed
+        ),
+    )
+    print(
+        f"wrote {int(info.rate * info.duration)} docs to {args.out} "
+        f"(tenants={info.num_tenants}, theta={info.theta}, seed={info.seed})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_main())

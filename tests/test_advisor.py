@@ -1,0 +1,150 @@
+"""Tests for the index advisor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.query import parse_sql
+from repro.query.advisor import IndexAdvisor
+
+
+def observe(advisor: IndexAdvisor, *sqls: str) -> None:
+    for sql in sqls:
+        advisor.observe(parse_sql(sql))
+
+
+class TestCompositeRecommendation:
+    def test_dominant_equality_pair_recommended(self):
+        advisor = IndexAdvisor()
+        observe(
+            advisor,
+            *(
+                f"SELECT * FROM t WHERE tenant_id = {i} AND created_time >= {i}"
+                for i in range(20)
+            ),
+        )
+        advice = advisor.recommend()
+        assert advice.composite_indexes[0][0] == "tenant_id"
+        assert "created_time" in advice.composite_indexes[0]
+
+    def test_equality_columns_ordered_by_frequency(self):
+        advisor = IndexAdvisor()
+        # tenant_id appears in every query; group only in some.
+        observe(
+            advisor,
+            "SELECT * FROM t WHERE tenant_id = 1 AND group = 2",
+            "SELECT * FROM t WHERE tenant_id = 1 AND group = 3",
+            "SELECT * FROM t WHERE tenant_id = 2",
+        )
+        advice = advisor.recommend()
+        assert advice.composite_indexes[0][0] == "tenant_id"
+
+    def test_range_column_goes_last(self):
+        advisor = IndexAdvisor()
+        observe(
+            advisor,
+            "SELECT * FROM t WHERE tenant_id = 1 AND amount BETWEEN 1 AND 2",
+        )
+        advice = advisor.recommend()
+        index = advice.composite_indexes[0]
+        assert index.index("amount") == len(index) - 1
+
+    def test_max_columns_respected(self):
+        advisor = IndexAdvisor(max_columns_per_index=2)
+        observe(
+            advisor,
+            "SELECT * FROM t WHERE a = 1 AND b = 2 AND c = 3 AND d BETWEEN 1 AND 2",
+        )
+        advice = advisor.recommend()
+        assert len(advice.composite_indexes[0]) == 2
+
+    def test_prefix_redundant_candidates_skipped(self):
+        advisor = IndexAdvisor(max_indexes=3)
+        observe(
+            advisor,
+            *["SELECT * FROM t WHERE a = 1 AND b = 2"] * 5,
+            *["SELECT * FROM t WHERE a = 1"] * 4,
+        )
+        advice = advisor.recommend()
+        # (a,) is a prefix of (a, b): only one index needed.
+        assert len(advice.composite_indexes) == 1
+
+    def test_or_branches_observed_independently(self):
+        advisor = IndexAdvisor()
+        observe(
+            advisor,
+            *["SELECT * FROM t WHERE (a = 1 AND b = 2) OR (c = 3 AND d = 4)"] * 5,
+        )
+        advice = advisor.recommend()
+        flattened = {column for index in advice.composite_indexes for column in index}
+        assert {"a", "b"} <= flattened or {"c", "d"} <= flattened
+
+    def test_empty_workload(self):
+        advice = IndexAdvisor().recommend()
+        assert advice.composite_indexes == ()
+        assert advice.coverage == 0.0
+
+    def test_invalid_limits(self):
+        with pytest.raises(ConfigurationError):
+            IndexAdvisor(max_indexes=0)
+
+
+class TestScanList:
+    def test_low_cardinality_columns_scanlisted(self):
+        advisor = IndexAdvisor(scan_cardinality_threshold=10)
+        advisor.set_cardinality("status", 4)
+        advisor.set_cardinality("buyer_id", 1_000_000)
+        advice = advisor.recommend()
+        assert advice.scan_columns == frozenset({"status"})
+
+    def test_scan_columns_excluded_from_composites(self):
+        advisor = IndexAdvisor(scan_cardinality_threshold=10)
+        advisor.set_cardinality("status", 4)
+        observe(
+            advisor,
+            *["SELECT * FROM t WHERE tenant_id = 1 AND status = 0"] * 5,
+        )
+        advice = advisor.recommend()
+        for index in advice.composite_indexes:
+            assert "status" not in index
+
+
+class TestCoverage:
+    def test_full_coverage_for_homogeneous_workload(self):
+        advisor = IndexAdvisor()
+        observe(advisor, *["SELECT * FROM t WHERE tenant_id = 1 AND group = 2"] * 10)
+        assert advisor.recommend().coverage == 1.0
+
+    def test_partial_coverage_reported(self):
+        advisor = IndexAdvisor(max_indexes=1, min_support=0.4)
+        observe(
+            advisor,
+            *["SELECT * FROM t WHERE a = 1"] * 8,
+            *["SELECT * FROM t WHERE z = 1 AND y = 2"] * 2,
+        )
+        advice = advisor.recommend()
+        assert 0.0 < advice.coverage < 1.0
+
+    def test_advice_actually_plans_composite(self, engine_config):
+        """End-to-end: advice feeds EngineConfig and the RBO uses it."""
+        from dataclasses import replace
+
+        from repro.query import RuleBasedOptimizer, Xdriver4ES
+        from repro.query.optimizer import CatalogInfo
+
+        advisor = IndexAdvisor()
+        workload = [
+            f"SELECT * FROM t WHERE tenant_id = {i} AND created_time BETWEEN 0 AND 9"
+            for i in range(10)
+        ]
+        observe(advisor, *workload)
+        advice = advisor.recommend()
+        catalog = CatalogInfo(
+            schema=engine_config.schema,
+            composite_indexes=advice.composite_indexes,
+            scan_columns=advice.scan_columns,
+        )
+        translated = Xdriver4ES().translate(parse_sql(workload[0]))
+        plan = RuleBasedOptimizer(catalog).plan(translated.statement)
+        assert "CompositeSearch" in plan.access_path_counts()

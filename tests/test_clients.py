@@ -1,0 +1,159 @@
+"""Tests for the write client (§3.1) and the query client."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import BatchDecision, QueryClient, WriteClient, WriteClientConfig
+from repro.query.ast import OrderBy
+from repro.routing import DoubleHashRouting, DynamicSecondaryHashRouting, HashRouting
+from tests.conftest import make_log
+
+
+class _Sink:
+    """Collects dispatched batches per shard."""
+
+    def __init__(self):
+        self.batches: list[tuple[int, list]] = []
+
+    def __call__(self, shard_id: int, sources: list) -> None:
+        self.batches.append((shard_id, sources))
+
+    def all_sources(self):
+        return [s for _, batch in self.batches for s in batch]
+
+
+class TestOneHopRouting:
+    def test_writes_dispatched_to_policy_shard(self):
+        policy = HashRouting(64)
+        sink = _Sink()
+        client = WriteClient(policy, sink)
+        client.submit(make_log(1, tenant="t"))
+        client.flush()
+        (shard_id, batch), = sink.batches
+        assert shard_id == policy.route_write("t", 1, 0.0)
+        assert batch[0]["transaction_id"] == 1
+
+    def test_dynamic_policy_spread_respected(self):
+        policy = DynamicSecondaryHashRouting(64)
+        policy.rules.update(0.0, 8, "hot")
+        sink = _Sink()
+        client = WriteClient(policy, sink)
+        for i in range(200):
+            client.submit(make_log(i, tenant="hot", created=1.0))
+        client.flush()
+        shards = {shard for shard, _ in sink.batches}
+        assert len(shards) == 8
+
+
+class TestWorkloadBatching:
+    def test_repeated_row_modifications_coalesced(self):
+        sink = _Sink()
+        client = WriteClient(HashRouting(8), sink)
+        assert client.submit(make_log(1, status=0)) is BatchDecision.QUEUED
+        assert client.submit(make_log(1, status=1)) is BatchDecision.COALESCED
+        assert client.submit(make_log(1, status=2)) is BatchDecision.COALESCED
+        client.flush()
+        sources = sink.all_sources()
+        assert len(sources) == 1
+        assert sources[0]["status"] == 2  # only the eventual state materializes
+
+    def test_different_rows_not_coalesced(self):
+        sink = _Sink()
+        client = WriteClient(HashRouting(8), sink)
+        client.submit(make_log(1))
+        client.submit(make_log(2))
+        client.flush()
+        assert len(sink.all_sources()) == 2
+
+    def test_stats_track_decisions(self):
+        sink = _Sink()
+        client = WriteClient(HashRouting(8), sink)
+        client.submit(make_log(1))
+        client.submit(make_log(1))
+        client.flush()
+        assert client.stats["queued"] == 1
+        assert client.stats["coalesced"] == 1
+        assert client.stats["dispatched"] == 1
+
+
+class TestHotspotIsolation:
+    def test_hotspot_writes_routed_to_separate_queue(self):
+        sink = _Sink()
+        client = WriteClient(HashRouting(8), sink)
+        client.mark_hotspot("whale")
+        decision = client.submit(make_log(1, tenant="whale"))
+        assert decision is BatchDecision.ISOLATED
+        assert client.queue_depths() == (0, 1)
+
+    def test_main_queue_flushes_before_hotspot_queue(self):
+        sink = _Sink()
+        client = WriteClient(HashRouting(8), sink)
+        client.mark_hotspot("whale")
+        client.submit(make_log(1, tenant="whale"))
+        client.submit(make_log(2, tenant="normal"))
+        client.flush()
+        tenants_in_order = [batch[0]["tenant_id"] for _, batch in sink.batches]
+        assert tenants_in_order == ["normal", "whale"]
+
+    def test_clear_hotspot(self):
+        client = WriteClient(HashRouting(8), _Sink())
+        client.mark_hotspot("x")
+        client.clear_hotspot("x")
+        assert not client.is_hotspot("x")
+        assert client.submit(make_log(1, tenant="x")) is BatchDecision.QUEUED
+
+
+class TestBatchDispatch:
+    def test_batch_size_respected(self):
+        sink = _Sink()
+        client = WriteClient(
+            HashRouting(1), sink, WriteClientConfig(batch_size=10)
+        )
+        for i in range(25):
+            client.submit(make_log(i))
+        client.flush()
+        sizes = [len(batch) for _, batch in sink.batches]
+        assert sizes == [10, 10, 5]
+
+    def test_auto_flush_at_coalesce_window(self):
+        sink = _Sink()
+        client = WriteClient(
+            HashRouting(8), sink, WriteClientConfig(coalesce_window=5)
+        )
+        for i in range(5):
+            client.submit(make_log(i))
+        # Window reached: queue flushed without an explicit flush() call.
+        assert client.queue_depths() == (0, 0)
+        assert len(sink.all_sources()) == 5
+
+
+class TestQueryClient:
+    def _run_subquery_factory(self, data_by_shard):
+        return lambda shard_id: data_by_shard.get(shard_id, [])
+
+    def test_fanout_matches_policy(self):
+        policy = DoubleHashRouting(64, offset=8)
+        client = QueryClient(policy, self._run_subquery_factory({}))
+        result = client.query("tenant")
+        assert result.subqueries == 8
+        assert client.avg_fanout == 8
+
+    def test_small_tenant_single_subquery_with_dynamic(self):
+        policy = DynamicSecondaryHashRouting(64)
+        policy.rules.update(0.0, 16, "hot")
+        client = QueryClient(policy, self._run_subquery_factory({}))
+        assert client.query("cold").subqueries == 1
+        assert client.query("hot").subqueries == 16
+
+    def test_results_merged_sorted_limited(self):
+        policy = DoubleHashRouting(8, offset=2)
+        base = policy.base_shard("t")
+        data = {
+            base % 8: [{"id": 3}, {"id": 1}],
+            (base + 1) % 8: [{"id": 2}],
+        }
+        client = QueryClient(policy, self._run_subquery_factory(data))
+        result = client.query("t", order_by=OrderBy("id"), limit=2)
+        assert [r["id"] for r in result.rows] == [1, 2]
+        assert result.total_hits == 3

@@ -1,0 +1,128 @@
+"""Tests for the experiments package and its CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import available, run
+from repro.experiments.base import ExperimentResult, Scale
+from repro.experiments.cli import main
+
+
+class TestRegistry:
+    def test_all_eleven_figures_registered(self):
+        expected = {
+            "fig01", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16", "fig17", "fig18", "fig19",
+        }
+        assert set(available()) == expected
+
+    def test_unknown_figure_raises(self):
+        with pytest.raises(KeyError):
+            run("fig99")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.experiments.base import experiment
+
+        with pytest.raises(ConfigurationError):
+            experiment("fig01")(lambda scale: None)
+
+
+class TestScale:
+    def test_pick(self):
+        assert Scale.TINY.pick(1, 2, 3) == 1
+        assert Scale.SMALL.pick(1, 2, 3) == 2
+        assert Scale.PAPER.pick(1, 2, 3) == 3
+
+    def test_from_string(self):
+        assert Scale("tiny") is Scale.TINY
+
+
+class TestResultRendering:
+    def test_render_contains_rows_and_notes(self):
+        result = ExperimentResult(
+            figure="figX",
+            title="demo",
+            headers=["a", "b"],
+            rows=[(1, 2), (3, 4)],
+            notes=["hello"],
+        )
+        text = result.render()
+        assert "figX" in text and "demo" in text
+        assert "1" in text and "4" in text
+        assert "note: hello" in text
+
+    def test_render_empty_rows(self):
+        result = ExperimentResult("figX", "t", ["a"], [])
+        assert "figX" in result.render()
+
+
+class TestTinyRuns:
+    """Smoke-run the cheap experiments end to end at tiny scale."""
+
+    @pytest.mark.parametrize("figure", ["fig01", "fig16"])
+    def test_instant_figures(self, figure):
+        result = run(figure, scale="tiny")
+        assert result.figure == figure
+        assert result.rows
+
+    def test_fig16_paper_scale_gain_note(self):
+        result = run("fig16", scale="tiny")
+        assert any("double hashing" in note for note in result.notes)
+
+    def test_fig13_runs_and_orders_policies(self):
+        result = run("fig13", scale="tiny")
+        policies = [row[0] for row in result.rows]
+        assert policies == [
+            "hashing", "double-hashing", "dynamic-secondary-hashing",
+        ]
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10" in out and "fig19" in out
+
+    def test_unknown_figure_exit_code(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_no_args_prints_help(self, capsys):
+        assert main([]) == 2
+
+    def test_runs_single_figure(self, capsys):
+        assert main(["fig01", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "top-10 share" in out
+
+
+class TestChartRendering:
+    def _result(self):
+        return ExperimentResult(
+            figure="figX",
+            title="demo",
+            headers=["rank", "qps"],
+            rows=[(1, "1,000"), (10, "500"), (100, "50")],
+        )
+
+    def test_chart_contains_bars_and_values(self):
+        chart = self._result().render_chart(1)
+        assert "█" in chart
+        assert "1,000".replace(",", "") in chart.replace(",", "")
+
+    def test_chart_scales_to_peak(self):
+        lines = self._result().render_chart(1, width=10).splitlines()
+        first_bar = lines[1].count("█")
+        last_bar = lines[3].count("█")
+        assert first_bar == 10
+        assert last_bar >= 1
+
+    def test_chart_skips_non_numeric(self):
+        result = ExperimentResult("f", "t", ["a", "b"], [("x", "not-a-number")])
+        assert "no numeric data" in result.render_chart(1)
+
+    def test_cli_chart_flag(self, capsys):
+        assert main(["fig01", "--scale", "tiny", "--chart", "1"]) == 0
+        assert "█" in capsys.readouterr().out

@@ -1,0 +1,49 @@
+"""Tiny-scale smoke runs of the simulation-backed experiment harnesses.
+
+The benchmark suite runs these at full (small) scale; here each registered
+harness is driven end-to-end at tiny scale so a regression in any figure's
+code path fails the unit suite in seconds, not only the benchmark run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run
+
+
+@pytest.mark.parametrize("figure", ["fig10", "fig11", "fig12", "fig14", "fig15", "fig19"])
+def test_simulation_experiments_tiny(figure):
+    result = run(figure, scale="tiny")
+    assert result.figure == figure
+    assert result.rows, figure
+    # Every row renders into the table without blowing up.
+    assert figure in result.render()
+
+
+def test_fig13_reports_all_policies_tiny():
+    result = run("fig13", scale="tiny")
+    assert [row[0] for row in result.rows] == [
+        "hashing",
+        "double-hashing",
+        "dynamic-secondary-hashing",
+    ]
+
+
+def test_fig17_tiny_reports_speedups():
+    result = run("fig17", scale="tiny")
+    assert result.rows
+    assert any("speedup" in h for h in result.headers)
+    assert result.notes and "paper" in result.notes[0]
+
+
+def test_fig18_tiny_reports_reductions():
+    result = run("fig18", scale="tiny")
+    assert result.rows
+    # Reduction column present and expressed as a percentage.
+    assert all(str(row[-1]).endswith("%") for row in result.rows)
+
+
+def test_fig14_notes_rule_commits_tiny():
+    result = run("fig14", scale="tiny")
+    assert any("rules committed" in note for note in result.notes)

@@ -1,0 +1,106 @@
+"""Stateful property test for the ESDB facade.
+
+Random interleavings of writes, updates, deletes, refreshes and rebalances
+against a dict model. The key invariant is the paper's read-your-writes
+guarantee across offset changes: no matter when the balancer splits a
+tenant, every record ever written remains reachable through SQL, and
+updates/deletes land on the copy the rules route to.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro import ESDB, EsdbConfig
+from repro.balancer import BalancerConfig
+from repro.cluster import ClusterTopology
+
+TENANTS = ["whale", "dolphin", "minnow"]
+
+
+class EsdbModel(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.db = ESDB(
+            EsdbConfig(
+                topology=ClusterTopology(num_nodes=2, num_shards=16),
+                auto_refresh_every=None,
+                balancer=BalancerConfig(
+                    hotspot_share=0.3, target_share_per_shard=0.1
+                ),
+                consensus_interval=1.0,
+            )
+        )
+        self.model: dict[int, dict] = {}
+        self.clock = 0.0
+        self.next_id = 0
+
+    def _tick(self) -> float:
+        self.clock += 1.0
+        self.db.advance_clock(self.clock)
+        return self.clock
+
+    @rule(tenant=st.sampled_from(TENANTS), status=st.integers(0, 3))
+    def write(self, tenant, status):
+        doc = {
+            "transaction_id": self.next_id,
+            "tenant_id": tenant,
+            "created_time": self._tick(),
+            "status": status,
+        }
+        self.db.write(doc)
+        self.model[self.next_id] = doc
+        self.next_id += 1
+
+    @rule(status=st.integers(0, 3), pick=st.integers(0, 10**6))
+    def update(self, status, pick):
+        if not self.model:
+            return
+        doc_id = sorted(self.model)[pick % len(self.model)]
+        self.db.update(doc_id, {"status": status})
+        self.model[doc_id] = {**self.model[doc_id], "status": status}
+
+    @rule(pick=st.integers(0, 10**6))
+    def delete(self, pick):
+        if not self.model:
+            return
+        doc_id = sorted(self.model)[pick % len(self.model)]
+        self.db.delete(doc_id)
+        del self.model[doc_id]
+
+    @rule()
+    def refresh(self):
+        self.db.refresh()
+
+    @rule()
+    def rebalance(self):
+        self._tick()
+        self.db.rebalance()
+
+    @invariant()
+    def every_tenant_query_matches_model(self):
+        self.db.refresh()
+        for tenant in TENANTS:
+            result = self.db.execute_sql(
+                f"SELECT transaction_id, status FROM t WHERE tenant_id = '{tenant}'"
+            )
+            got = {r["transaction_id"]: r["status"] for r in result.rows}
+            expected = {
+                doc_id: doc["status"]
+                for doc_id, doc in self.model.items()
+                if doc["tenant_id"] == tenant
+            }
+            assert got == expected, tenant
+
+    @invariant()
+    def counts_consistent(self):
+        self.db.refresh()
+        assert self.db.doc_count() == len(self.model)
+
+
+EsdbModel.TestCase.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)
+TestEsdbStateful = EsdbModel.TestCase

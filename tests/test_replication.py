@@ -1,0 +1,274 @@
+"""Tests for logical and physical replication (§5.2, Figure 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.replication import (
+    LogicalReplicator,
+    PhysicalReplicator,
+    ReplicationAccounting,
+)
+from repro.storage import ShardEngine, TieredMergePolicy
+from tests.conftest import make_log
+
+
+@pytest.fixture()
+def pair(engine_config):
+    primary = ShardEngine(engine_config, shard_id=1)
+    replica = ShardEngine(engine_config, shard_id=1)
+    return primary, replica
+
+
+class TestLogicalReplication:
+    def test_replica_mirrors_primary(self, pair):
+        primary, replica = pair
+        repl = LogicalReplicator(primary, replica)
+        for i in range(10):
+            repl.index(make_log(i, tenant="t"))
+        repl.refresh()
+        assert repl.in_sync()
+        assert replica.doc_count() == 10
+
+    def test_updates_and_deletes_replicated(self, pair):
+        primary, replica = pair
+        repl = LogicalReplicator(primary, replica)
+        repl.index(make_log(1, status=0))
+        repl.index(make_log(2))
+        repl.update(1, {"status": 9})
+        repl.delete(2)
+        repl.refresh()
+        assert replica.get(1).get("status") == 9
+        assert not replica.contains(2)
+
+    def test_cpu_doubles_under_logical_replication(self, pair):
+        primary, replica = pair
+        repl = LogicalReplicator(primary, replica)
+        for i in range(20):
+            repl.index(make_log(i))
+        # Replica re-executed everything: its indexing cost equals primary's.
+        assert repl.accounting.replica_cpu == pytest.approx(
+            primary.stats.indexing_cost
+        )
+
+    def test_visibility_immediate(self, pair):
+        primary, replica = pair
+        repl = LogicalReplicator(primary, replica)
+        repl.index(make_log(1))
+        repl.refresh(now=42.0)
+        assert repl.accounting.max_visibility_delay == 0.0
+
+
+class TestPhysicalReplicationBasics:
+    def test_refreshed_segments_copied(self, engine_config):
+        primary = ShardEngine(engine_config, shard_id=0)
+        repl = PhysicalReplicator(primary)
+        for i in range(10):
+            primary.index(make_log(i))
+        primary.refresh()
+        repl.replicate()
+        assert repl.in_sync()
+        assert repl.replica_doc_count() == 10
+
+    def test_segment_diff_requests_only_missing(self, engine_config):
+        primary = ShardEngine(engine_config, shard_id=0)
+        repl = PhysicalReplicator(primary)
+        primary.index(make_log(1))
+        primary.refresh()
+        repl.replicate()
+        copied_first = repl.accounting.segments_copied
+        primary.index(make_log(2))
+        primary.refresh()
+        repl.replicate()
+        # Second round copies only the new segment.
+        assert repl.accounting.segments_copied == copied_first + 1
+
+    def test_stale_segments_deleted_on_replica(self, engine_config):
+        from dataclasses import replace
+
+        config = replace(engine_config, auto_refresh_every=None)
+        primary = ShardEngine(config, merge_policy=TieredMergePolicy(merge_factor=2))
+        repl = PhysicalReplicator(primary)
+        primary.index(make_log(1))
+        primary.refresh()
+        repl.replicate()
+        assert len(repl.replica_segments) == 1
+        # Next refresh triggers a merge replacing both segments with one.
+        primary.index(make_log(2))
+        primary.refresh()
+        repl.replicate()
+        assert repl.in_sync()
+        primary_ids = {s.segment_id for s in primary.segments}
+        assert set(repl.replica_segments) == primary_ids
+
+    def test_replica_cpu_far_below_logical(self, engine_config):
+        primary_l = ShardEngine(engine_config)
+        replica_l = ShardEngine(engine_config)
+        logical = LogicalReplicator(primary_l, replica_l)
+        primary_p = ShardEngine(engine_config)
+        physical = PhysicalReplicator(primary_p)
+        for i in range(50):
+            logical.index(make_log(i))
+            primary_p.index(make_log(i))
+        logical.refresh()
+        primary_p.refresh()
+        physical.replicate()
+        assert physical.accounting.replica_cpu < logical.accounting.replica_cpu * 0.2
+
+    def test_snapshot_lock_released_after_round(self, engine_config):
+        primary = ShardEngine(engine_config)
+        repl = PhysicalReplicator(primary)
+        primary.index(make_log(1))
+        primary.refresh()
+        repl.replicate()
+        assert repl.locked_segment_ids() == set()
+
+
+class TestTranslogSync:
+    def test_translog_synced_in_real_time(self, engine_config):
+        primary = ShardEngine(engine_config)
+        repl = PhysicalReplicator(primary)
+        for i in range(5):
+            primary.index(make_log(i))
+            repl.sync_translog_entry(primary.translog._entries[-1])
+        assert len(repl.replica_translog) == 5
+
+    def test_promote_replica_recovers_unreplicated_writes(self, engine_config):
+        """Primary/replica switch: segments + translog replay must recover
+        everything, including writes never shipped as segments."""
+        primary = ShardEngine(engine_config)
+        repl = PhysicalReplicator(primary)
+        for i in range(5):
+            primary.index(make_log(i, tenant="t"))
+            repl.sync_translog_entry(primary.translog._entries[-1])
+        primary.refresh()
+        repl.replicate()
+        # Two more writes reach the translog but never a replicated segment.
+        for i in range(5, 7):
+            primary.index(make_log(i, tenant="t"))
+            repl.sync_translog_entry(primary.translog._entries[-1])
+        promoted = repl.promote_replica()
+        promoted.refresh()
+        assert promoted.doc_count() == 7
+        assert promoted.contains(6)
+
+
+class TestPreReplication:
+    def _merging_primary(self, engine_config):
+        from dataclasses import replace
+
+        config = replace(engine_config, auto_refresh_every=None)
+        return ShardEngine(config, merge_policy=TieredMergePolicy(merge_factor=2))
+
+    def test_merged_segments_shipped_ahead_of_rounds(self, engine_config):
+        primary = self._merging_primary(engine_config)
+        repl = PhysicalReplicator(primary)
+        for batch in range(2):
+            primary.index(make_log(batch))
+            primary.refresh()  # second refresh triggers a merge
+        assert primary.stats.merges == 1
+        shipped = repl.run_prereplication()
+        assert shipped == 1
+        merged_id = primary.segments[-1].segment_id
+        assert repl.was_prereplicated(merged_id)
+
+    def test_merged_segment_never_in_diff_after_prereplication(self, engine_config):
+        primary = self._merging_primary(engine_config)
+        repl = PhysicalReplicator(primary)
+        for batch in range(2):
+            primary.index(make_log(batch))
+            primary.refresh()
+        repl.run_prereplication()
+        snapshot = repl.build_snapshot()
+        missing, _ = repl.segment_diff(snapshot)
+        merged_id = primary.segments[-1].segment_id
+        assert merged_id not in missing
+
+    def test_replicate_runs_prereplication_automatically(self, engine_config):
+        primary = self._merging_primary(engine_config)
+        repl = PhysicalReplicator(primary)
+        for batch in range(2):
+            primary.index(make_log(batch))
+            primary.refresh()
+        repl.replicate()
+        assert repl.in_sync()
+
+
+class TestVisibilityDelay:
+    def test_visibility_delay_tracked_with_network_model(self, engine_config):
+        primary = ShardEngine(engine_config)
+        repl = PhysicalReplicator(primary, network_seconds_per_byte=0.001)
+        repl.advance_clock(10.0)
+        primary.index(make_log(1))
+        primary.refresh()
+        repl.replicate(now=10.5)
+        assert repl.accounting.max_visibility_delay > 0.0
+
+    def test_accounting_skip_counts(self):
+        acc = ReplicationAccounting()
+        acc.note_skip()
+        acc.charge_copy(100)
+        assert acc.segments_skipped == 1
+        assert acc.bytes_copied == 100
+        assert acc.replica_cpu == pytest.approx(0.1)
+
+
+class TestReplicaSet:
+    def _make(self, engine_config, n=2):
+        from repro.replication import ReplicaSet
+
+        return ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=n)
+
+    def test_all_replicas_receive_translog(self, engine_config):
+        rs = self._make(engine_config)
+        for i in range(5):
+            rs.index(make_log(i))
+        for status in rs.status():
+            assert status.translog_entries == 5
+
+    def test_replicate_all_syncs_everyone(self, engine_config):
+        rs = self._make(engine_config, n=3)
+        for i in range(10):
+            rs.index(make_log(i))
+        rs.primary.refresh()
+        assert rs.replicate_all() == 3
+        assert rs.in_sync_count() == 3
+        assert all(s.doc_count == 10 for s in rs.status())
+
+    def test_promote_picks_most_up_to_date(self, engine_config):
+        from repro.replication import ReplicaSet
+
+        rs = ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=2)
+        for i in range(4):
+            rs.index(make_log(i))
+        rs.primary.refresh()
+        rs.replicate_all()
+        # One replica misses the last translog entries (lagging network).
+        rs.primary.index(make_log(99))
+        entry = rs.primary.translog._entries[-1]
+        rs.replicators["replica-0"].sync_translog_entry(entry)
+        promoted = rs.promote()
+        promoted.refresh()
+        assert promoted.contains(99)
+
+    def test_promote_unknown_replica_rejected(self, engine_config):
+        from repro.errors import ReplicationError
+
+        rs = self._make(engine_config)
+        with pytest.raises(ReplicationError):
+            rs.promote("replica-99")
+
+    def test_zero_replicas_rejected(self, engine_config):
+        from repro.errors import ReplicationError
+        from repro.replication import ReplicaSet
+
+        with pytest.raises(ReplicationError):
+            ReplicaSet(ShardEngine(engine_config), num_replicas=0)
+
+    def test_deletes_forwarded(self, engine_config):
+        rs = self._make(engine_config)
+        rs.index(make_log(1))
+        rs.delete(1)
+        promoted = rs.promote()
+        promoted.refresh()
+        assert not promoted.contains(1)

@@ -1,0 +1,184 @@
+"""Tests for the three routing policies (Eq. 1 / Eq. 2, Figure 2)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.routing import (
+    DoubleHashRouting,
+    DynamicSecondaryHashRouting,
+    HashRouting,
+    RuleList,
+    ShardRange,
+)
+
+N = 64
+
+
+class TestShardRange:
+    def test_iterates_consecutive_shards(self):
+        r = ShardRange(start=5, length=3, total=8)
+        assert list(r) == [5, 6, 7]
+
+    def test_wraps_around_modulo_total(self):
+        r = ShardRange(start=6, length=4, total=8)
+        assert list(r) == [6, 7, 0, 1]
+
+    def test_contains_respects_wraparound(self):
+        r = ShardRange(start=6, length=4, total=8)
+        assert 0 in r and 6 in r
+        assert 2 not in r and 5 not in r
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ShardRange(start=0, length=0, total=8)
+        with pytest.raises(ConfigurationError):
+            ShardRange(start=0, length=9, total=8)
+        with pytest.raises(ConfigurationError):
+            ShardRange(start=8, length=1, total=8)
+
+
+class TestHashRouting:
+    def test_all_records_of_tenant_on_one_shard(self):
+        policy = HashRouting(N)
+        shards = {policy.route_write("t1", rec) for rec in range(100)}
+        assert len(shards) == 1
+
+    def test_query_range_is_single_shard(self):
+        policy = HashRouting(N)
+        assert len(policy.query_shards("t1")) == 1
+        assert policy.query_shards("t1").start == policy.route_write("t1", 0)
+
+    def test_different_tenants_spread_over_shards(self):
+        policy = HashRouting(N)
+        shards = {policy.route_write(f"t{i}", 0) for i in range(1000)}
+        assert len(shards) > N * 0.9  # nearly all shards used
+
+
+class TestDoubleHashRouting:
+    def test_records_spread_over_exactly_s_consecutive_shards(self):
+        policy = DoubleHashRouting(N, offset=8)
+        base = policy.base_shard("t1")
+        shards = {policy.route_write("t1", rec) for rec in range(2000)}
+        expected = {(base + i) % N for i in range(8)}
+        assert shards == expected
+
+    def test_offset_one_degrades_to_hashing(self):
+        double = DoubleHashRouting(N, offset=1)
+        plain = HashRouting(N)
+        for rec in range(50):
+            assert double.route_write("t", rec) == plain.route_write("t", rec)
+
+    def test_offset_n_spreads_over_all_shards(self):
+        policy = DoubleHashRouting(16, offset=16)
+        shards = {policy.route_write("t", rec) for rec in range(4000)}
+        assert shards == set(range(16))
+
+    def test_query_range_matches_write_spread(self):
+        policy = DoubleHashRouting(N, offset=8)
+        writes = {policy.route_write("t9", rec) for rec in range(2000)}
+        assert writes <= policy.query_shards("t9").as_set()
+
+    def test_invalid_offset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DoubleHashRouting(N, offset=0)
+        with pytest.raises(ConfigurationError):
+            DoubleHashRouting(N, offset=N + 1)
+
+    def test_routing_is_equation_1(self):
+        """p = (h1(k1) + h2(k2) mod s) mod N exactly."""
+        from repro.hashing import h1, h2
+
+        policy = DoubleHashRouting(N, offset=8)
+        for rec in range(20):
+            expected = (h1("t") % N + h2(rec) % 8) % N
+            assert policy.route_write("t", rec) == expected
+
+
+class TestDynamicSecondaryHashRouting:
+    def test_no_rules_behaves_like_hashing(self):
+        dynamic = DynamicSecondaryHashRouting(N)
+        plain = HashRouting(N)
+        for rec in range(50):
+            assert dynamic.route_write("t", rec, 100.0) == plain.route_write("t", rec)
+
+    def test_rule_changes_routing_only_after_effective_time(self):
+        dynamic = DynamicSecondaryHashRouting(N)
+        dynamic.rules.update(50.0, 8, "hot")
+        before = {dynamic.route_write("hot", rec, 49.0) for rec in range(500)}
+        after = {dynamic.route_write("hot", rec, 51.0) for rec in range(500)}
+        assert len(before) == 1
+        assert len(after) == 8
+
+    def test_spread_is_consecutive_from_base(self):
+        dynamic = DynamicSecondaryHashRouting(N)
+        dynamic.rules.update(0.0, 8, "hot")
+        base = dynamic.base_shard("hot")
+        shards = {dynamic.route_write("hot", rec, 1.0) for rec in range(2000)}
+        assert shards == {(base + i) % N for i in range(8)}
+
+    def test_cold_tenants_unaffected_by_hot_rules(self):
+        dynamic = DynamicSecondaryHashRouting(N)
+        dynamic.rules.update(0.0, 32, "hot")
+        shards = {dynamic.route_write("cold", rec, 10.0) for rec in range(200)}
+        assert len(shards) == 1
+
+    def test_query_covers_union_of_historical_offsets(self):
+        dynamic = DynamicSecondaryHashRouting(N)
+        dynamic.rules.update(10.0, 4, "t")
+        dynamic.rules.update(20.0, 16, "t")
+        # Writes at various creation times...
+        writes = set()
+        for created in (5.0, 15.0, 25.0):
+            writes |= {dynamic.route_write("t", rec, created) for rec in range(500)}
+        assert writes <= dynamic.query_shards("t").as_set()
+        assert len(dynamic.query_shards("t")) == 16
+
+    def test_shared_rule_list_instance(self):
+        rules = RuleList()
+        dynamic = DynamicSecondaryHashRouting(N, rules=rules)
+        rules.update(0.0, 8, "t")
+        assert dynamic.offset_for("t", 1.0) == 8
+
+    def test_read_your_writes_update_routes_to_original_shard(self):
+        """An UPDATE identified by (k1, k2, t_c) must reach the shard that
+        holds the record, even after the offset changed (§4.2)."""
+        dynamic = DynamicSecondaryHashRouting(N)
+        dynamic.rules.update(0.0, 4, "t")
+        original = {rec: dynamic.route_write("t", rec, 5.0) for rec in range(300)}
+        dynamic.rules.update(10.0, 16, "t")
+        for rec, shard in original.items():
+            # Re-route the same record with its original creation time.
+            assert dynamic.route_write("t", rec, 5.0) == shard
+
+
+@settings(max_examples=50)
+@given(
+    tenant=st.integers(min_value=0, max_value=10_000),
+    record=st.integers(min_value=0, max_value=10_000_000),
+    created=st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+def test_property_write_always_lands_in_query_range(tenant, record, created):
+    dynamic = DynamicSecondaryHashRouting(N)
+    dynamic.rules.update(0.0, 4, tenant)
+    dynamic.rules.update(100.0, 32, tenant)
+    shard = dynamic.route_write(tenant, record, created)
+    assert shard in dynamic.query_shards(tenant)
+
+
+@settings(max_examples=30)
+@given(
+    offsets=st.lists(st.sampled_from([2, 4, 8, 16, 32, 64]), min_size=1, max_size=5),
+    records=st.lists(st.integers(min_value=0, max_value=10**9), min_size=1, max_size=50),
+)
+def test_property_spread_never_exceeds_committed_offset(offsets, records):
+    dynamic = DynamicSecondaryHashRouting(N)
+    for i, offset in enumerate(offsets):
+        dynamic.rules.update(float(i), offset, "t")
+    created = float(len(offsets) + 1)
+    shards = {dynamic.route_write("t", rec, created) for rec in records}
+    assert len(shards) <= max(offsets)

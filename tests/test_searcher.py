@@ -1,0 +1,88 @@
+"""Tests for point-in-time searchers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from tests.conftest import make_log
+
+
+class TestPointInTime:
+    def test_searcher_unaffected_by_later_writes(self, engine):
+        for i in range(5):
+            engine.index(make_log(i, status=1))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        for i in range(5, 10):
+            engine.index(make_log(i, status=1))
+        engine.refresh()
+        assert searcher.doc_count() == 5
+        assert engine.doc_count() == 10
+        assert len(searcher.term_postings("status", 1)) == 5
+
+    def test_searcher_unaffected_by_merge(self, engine_config):
+        from dataclasses import replace
+
+        from repro.storage import ShardEngine, TieredMergePolicy
+
+        config = replace(engine_config, auto_refresh_every=None)
+        engine = ShardEngine(config, merge_policy=TieredMergePolicy(merge_factor=2))
+        engine.index(make_log(1, status=1))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        pinned_segments = searcher.segment_count
+        engine.index(make_log(2, status=1))
+        engine.refresh()  # triggers a merge replacing the pinned segment
+        assert engine.stats.merges == 1
+        # The searcher still answers from its pinned (pre-merge) segments.
+        assert searcher.segment_count == pinned_segments
+        assert searcher.doc_count() == 1
+        rows = searcher.term_postings("status", 1)
+        assert [d.doc_id for d in searcher.fetch(rows)] == [1]
+
+    def test_deletes_visible_through_open_searcher(self, engine):
+        """Lucene semantics: live-bitmap changes on pinned segments show."""
+        engine.index(make_log(1, status=1))
+        engine.index(make_log(2, status=1))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        engine.delete(1)
+        assert searcher.doc_count() == 1
+        assert len(searcher.term_postings("status", 1)) == 1
+
+    def test_buffer_not_visible(self, engine):
+        engine.index(make_log(1))
+        searcher = engine.acquire_searcher()  # before any refresh
+        assert searcher.doc_count() == 0
+
+    def test_closed_searcher_rejects_reads(self, engine):
+        engine.index(make_log(1))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        searcher.close()
+        with pytest.raises(StorageError):
+            searcher.doc_count()
+
+    def test_context_manager(self, engine):
+        engine.index(make_log(1, created=7.0))
+        engine.refresh()
+        with engine.acquire_searcher() as searcher:
+            assert searcher.numeric_range("created_time", 7, 7).to_list()
+        with pytest.raises(StorageError):
+            searcher.doc_count()
+
+    def test_generation_tracks_refreshes(self, engine):
+        engine.index(make_log(1))
+        engine.refresh()
+        first = engine.acquire_searcher()
+        engine.index(make_log(2))
+        engine.refresh()
+        second = engine.acquire_searcher()
+        assert second.generation > first.generation
+
+    def test_text_search_through_searcher(self, engine):
+        engine.index(make_log(1, title="vintage leather satchel"))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        assert len(searcher.text_postings("auction_title", "leather satchel")) == 1

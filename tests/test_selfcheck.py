@@ -1,0 +1,38 @@
+"""Tests for the self-check doctor command."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.selfcheck import CHECKS, main
+
+
+class TestSelfCheck:
+    def test_all_checks_registered(self):
+        names = [name for name, _ in CHECKS]
+        assert names == [
+            "write/query round trip",
+            "balancing + consensus",
+            "replication failover",
+            "performance simulation",
+        ]
+
+    def test_individual_checks_return_details(self):
+        for name, check in CHECKS:
+            detail = check()
+            assert isinstance(detail, str) and detail, name
+
+    def test_main_exit_zero_and_reports(self, capsys):
+        assert main() == 0
+        out = capsys.readouterr().out
+        assert out.count("[ ok ]") == len(CHECKS)
+        assert "all checks passed" in out
+
+    def test_main_reports_failures(self, capsys, monkeypatch):
+        import repro.selfcheck as sc
+
+        broken = [("boom", lambda: (_ for _ in ()).throw(RuntimeError("x")))]
+        monkeypatch.setattr(sc, "CHECKS", broken + sc.CHECKS[:1])
+        assert sc.main() == 1
+        out = capsys.readouterr().out
+        assert "[FAIL] boom" in out

@@ -1,0 +1,298 @@
+"""Tests for aggregate queries: COUNT/SUM/AVG/MIN/MAX, GROUP BY and scalar
+function projections (IFNULL, DATE_FORMAT)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ESDB, EsdbConfig
+from repro.cluster import ClusterTopology
+from repro.errors import SqlSyntaxError, UnsupportedSqlError
+from repro.query import parse_sql
+from repro.query.aggregator import ResultAggregator
+from repro.query.ast import AggregateProjection, FunctionProjection, OrderBy
+from tests.conftest import make_log
+
+
+class TestParsingProjections:
+    def test_count_star(self):
+        stmt = parse_sql("SELECT COUNT(*) FROM t")
+        assert stmt.columns == (AggregateProjection("count", "*"),)
+        assert stmt.has_aggregates
+
+    def test_all_aggregates(self):
+        stmt = parse_sql("SELECT COUNT(a), SUM(b), AVG(c), MIN(d), MAX(e) FROM t")
+        funcs = [c.func for c in stmt.columns]
+        assert funcs == ["count", "sum", "avg", "min", "max"]
+
+    def test_group_by_single_column(self):
+        stmt = parse_sql("SELECT status, COUNT(*) FROM t GROUP BY status")
+        assert stmt.group_by == ("status",)
+
+    def test_group_by_multiple_columns(self):
+        stmt = parse_sql(
+            "SELECT status, group, COUNT(*) FROM t GROUP BY status, group"
+        )
+        assert stmt.group_by == ("status", "group")
+
+    def test_group_by_without_aggregate_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("SELECT status FROM t GROUP BY status")
+
+    def test_bare_column_not_in_group_by_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("SELECT status, COUNT(*) FROM t GROUP BY group")
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("SELECT SUM(*) FROM t")
+
+    def test_ifnull_projection(self):
+        stmt = parse_sql("SELECT IFNULL(amount, 0) FROM t")
+        assert stmt.columns == (FunctionProjection("ifnull", "amount", 0),)
+
+    def test_ifnull_requires_default(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT IFNULL(amount) FROM t")
+
+    def test_date_format_projection(self):
+        stmt = parse_sql("SELECT DATE_FORMAT(created_time, '%Y-%m-%d') FROM t")
+        (proj,) = stmt.columns
+        assert proj.func == "date_format"
+        assert proj.argument == "%Y-%m-%d"
+
+    def test_aggregate_with_where_and_group(self):
+        stmt = parse_sql(
+            "SELECT status, SUM(amount) FROM t WHERE tenant_id = 1 GROUP BY status"
+        )
+        assert stmt.where is not None
+        assert stmt.group_by == ("status",)
+
+
+class TestAggregatorGrouping:
+    ROWS = [
+        {"status": 0, "amount": 10.0},
+        {"status": 0, "amount": 20.0},
+        {"status": 1, "amount": 5.0},
+        {"status": 1, "amount": None},
+    ]
+
+    def _agg(self, columns, group_by=()):
+        return ResultAggregator(columns=tuple(columns), group_by=group_by)
+
+    def test_global_count_star(self):
+        agg = self._agg([AggregateProjection("count", "*")])
+        result = agg.aggregate([self.ROWS])
+        assert result.scalar() == 4
+
+    def test_count_column_skips_nulls(self):
+        agg = self._agg([AggregateProjection("count", "amount")])
+        assert self._agg([AggregateProjection("count", "amount")]).aggregate(
+            [self.ROWS]
+        ).scalar() == 3
+
+    def test_sum_avg_min_max(self):
+        agg = self._agg(
+            [
+                AggregateProjection("sum", "amount"),
+                AggregateProjection("avg", "amount"),
+                AggregateProjection("min", "amount"),
+                AggregateProjection("max", "amount"),
+            ]
+        )
+        (row,) = agg.aggregate([self.ROWS]).rows
+        assert row["sum(amount)"] == 35.0
+        assert row["avg(amount)"] == pytest.approx(35.0 / 3)
+        assert row["min(amount)"] == 5.0
+        assert row["max(amount)"] == 20.0
+
+    def test_group_by_counts(self):
+        agg = self._agg(
+            ["status", AggregateProjection("count", "*")], group_by=("status",)
+        )
+        rows = agg.aggregate([self.ROWS]).rows
+        assert rows == (
+            {"status": 0, "count(*)": 2},
+            {"status": 1, "count(*)": 2},
+        )
+
+    def test_groups_merged_across_shards(self):
+        agg = self._agg(
+            ["status", AggregateProjection("sum", "amount")], group_by=("status",)
+        )
+        shard_a = [{"status": 0, "amount": 1.0}]
+        shard_b = [{"status": 0, "amount": 2.0}, {"status": 1, "amount": 9.0}]
+        rows = agg.aggregate([shard_a, shard_b]).rows
+        assert rows == (
+            {"status": 0, "sum(amount)": 3.0},
+            {"status": 1, "sum(amount)": 9.0},
+        )
+
+    def test_aggregate_over_empty_input_is_null(self):
+        agg = self._agg([AggregateProjection("sum", "amount")])
+        assert agg.aggregate([[]]).scalar() is None
+
+    def test_count_over_empty_input_is_zero(self):
+        agg = self._agg([AggregateProjection("count", "*")])
+        assert agg.aggregate([[]]).scalar() == 0
+
+    def test_order_and_limit_apply_to_groups(self):
+        agg = ResultAggregator(
+            columns=("status", AggregateProjection("count", "*")),
+            group_by=("status",),
+            order_by=OrderBy("count(*)", descending=True),
+            limit=1,
+        )
+        rows = agg.aggregate(
+            [[{"status": s} for s in (0, 0, 0, 1)]]
+        ).rows
+        assert rows == ({"status": 0, "count(*)": 3},)
+
+    def test_scalar_requires_single_cell(self):
+        agg = self._agg(["status", AggregateProjection("count", "*")], ("status",))
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError):
+            agg.aggregate([self.ROWS]).scalar()
+
+    def test_ifnull_projection_applied(self):
+        agg = self._agg([FunctionProjection("ifnull", "amount", 0.0)])
+        rows = agg.aggregate([[{"amount": None}, {"amount": 5.0}]]).rows
+        assert [r["ifnull(amount)"] for r in rows] == [0.0, 5.0]
+
+
+class TestEndToEndAggregates:
+    @pytest.fixture()
+    def db(self):
+        db = ESDB(
+            EsdbConfig(
+                topology=ClusterTopology(num_nodes=2, num_shards=8),
+                auto_refresh_every=None,
+            )
+        )
+        for i in range(30):
+            db.write(
+                make_log(
+                    i,
+                    tenant=7,
+                    created=float(i),
+                    status=i % 3,
+                    amount=float(i),
+                )
+            )
+        db.refresh()
+        return db
+
+    def test_count_star_by_tenant(self, db):
+        result = db.execute_sql("SELECT COUNT(*) FROM t WHERE tenant_id = 7")
+        assert result.scalar() == 30
+
+    def test_group_by_status(self, db):
+        result = db.execute_sql(
+            "SELECT status, COUNT(*), AVG(amount) FROM t "
+            "WHERE tenant_id = 7 GROUP BY status"
+        )
+        assert len(result.rows) == 3
+        assert sum(r["count(*)"] for r in result.rows) == 30
+
+    def test_sum_with_filter(self, db):
+        result = db.execute_sql(
+            "SELECT SUM(amount) FROM t WHERE tenant_id = 7 AND status = 0"
+        )
+        expected = sum(float(i) for i in range(30) if i % 3 == 0)
+        assert result.scalar() == pytest.approx(expected)
+
+    def test_date_format_end_to_end(self, db):
+        result = db.execute_sql(
+            "SELECT DATE_FORMAT(created_time, '%Y') FROM t "
+            "WHERE tenant_id = 7 LIMIT 1"
+        )
+        assert result.rows[0]["date_format(created_time)"] == "1970"
+
+    def test_order_groups_by_aggregate(self, db):
+        result = db.execute_sql(
+            "SELECT status, COUNT(*) FROM t WHERE tenant_id = 7 "
+            "GROUP BY status ORDER BY status DESC"
+        )
+        statuses = [r["status"] for r in result.rows]
+        assert statuses == sorted(statuses, reverse=True)
+
+
+class TestHaving:
+    def test_having_parses(self):
+        stmt = parse_sql(
+            "SELECT status, COUNT(*) FROM t GROUP BY status HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.having) == 1
+        assert stmt.having[0].op == ">"
+        assert stmt.having[0].value == 2
+
+    def test_having_multiple_conditions(self):
+        stmt = parse_sql(
+            "SELECT status, SUM(amount) FROM t GROUP BY status "
+            "HAVING COUNT(*) >= 2 AND SUM(amount) < 100"
+        )
+        assert len(stmt.having) == 2
+
+    def test_having_requires_aggregate_function(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT status, COUNT(*) FROM t GROUP BY status HAVING status > 2")
+
+    def test_having_without_group_or_aggregates_rejected(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("SELECT status FROM t HAVING COUNT(*) > 1")
+
+    def test_having_filters_groups(self):
+        from repro.query.ast import HavingCondition
+
+        agg = ResultAggregator(
+            columns=("status", AggregateProjection("count", "*")),
+            group_by=("status",),
+            having=(HavingCondition(AggregateProjection("count", "*"), ">", 1),),
+        )
+        rows = agg.aggregate([[{"status": 0}, {"status": 0}, {"status": 1}]]).rows
+        assert rows == ({"status": 0, "count(*)": 2},)
+
+    def test_having_on_unprojected_aggregate(self):
+        """HAVING may filter on an aggregate that is not in the SELECT list."""
+        from repro.query.ast import HavingCondition
+
+        agg = ResultAggregator(
+            columns=("status", AggregateProjection("count", "*")),
+            group_by=("status",),
+            having=(
+                HavingCondition(AggregateProjection("sum", "amount"), ">=", 10),
+            ),
+        )
+        rows = agg.aggregate(
+            [[{"status": 0, "amount": 4}, {"status": 0, "amount": 7},
+              {"status": 1, "amount": 2}]]
+        ).rows
+        assert [r["status"] for r in rows] == [0]
+
+    def test_having_end_to_end(self):
+        db = ESDB(
+            EsdbConfig(
+                topology=ClusterTopology(num_nodes=2, num_shards=8),
+                auto_refresh_every=None,
+            )
+        )
+        for i in range(30):
+            db.write(make_log(i, tenant=3, created=float(i), status=0 if i < 25 else 1))
+        db.refresh()
+        result = db.execute_sql(
+            "SELECT status, COUNT(*) FROM t WHERE tenant_id = 3 "
+            "GROUP BY status HAVING COUNT(*) > 10"
+        )
+        assert [dict(r) for r in result.rows] == [{"status": 0, "count(*)": 25}]
+
+    def test_having_null_aggregate_excluded(self):
+        from repro.query.ast import HavingCondition
+
+        agg = ResultAggregator(
+            columns=("status", AggregateProjection("count", "*")),
+            group_by=("status",),
+            having=(HavingCondition(AggregateProjection("sum", "amount"), ">", 0),),
+        )
+        rows = agg.aggregate([[{"status": 0, "amount": None}]]).rows
+        assert rows == ()

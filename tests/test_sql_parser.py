@@ -1,0 +1,205 @@
+"""Tests for the SQL parser."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SqlSyntaxError, UnsupportedSqlError
+from repro.query import parse_sql
+from repro.query.ast import (
+    AndNode,
+    BetweenPredicate,
+    ComparisonPredicate,
+    InPredicate,
+    LikePredicate,
+    MatchPredicate,
+    NotNode,
+    OrNode,
+    SubAttributePredicate,
+)
+from repro.query.sql_parser import timestamp_to_epoch
+
+
+class TestBasicShapes:
+    def test_select_star(self):
+        stmt = parse_sql("SELECT * FROM logs")
+        assert stmt.columns == ("*",)
+        assert stmt.table == "logs"
+        assert stmt.where is None
+
+    def test_projection_list(self):
+        stmt = parse_sql("SELECT a, b, c FROM t")
+        assert stmt.columns == ("a", "b", "c")
+
+    def test_trailing_semicolon_ok(self):
+        assert parse_sql("SELECT * FROM t;").table == "t"
+
+    def test_case_insensitive_keywords(self):
+        stmt = parse_sql("select * from t where a = 1 order by a desc limit 3")
+        assert stmt.limit == 3
+        assert stmt.order_by.descending
+
+    def test_order_by_asc_default(self):
+        stmt = parse_sql("SELECT * FROM t ORDER BY created_time")
+        assert not stmt.order_by.descending
+
+    def test_limit_zero_allowed(self):
+        assert parse_sql("SELECT * FROM t LIMIT 0").limit == 0
+
+
+class TestPredicates:
+    def test_comparisons(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 AND b != 2 AND c <= 3")
+        preds = stmt.where.children
+        assert preds[0] == ComparisonPredicate("a", "=", 1)
+        assert preds[1] == ComparisonPredicate("b", "!=", 2)
+        assert preds[2] == ComparisonPredicate("c", "<=", 3)
+
+    def test_diamond_not_equals(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a <> 5")
+        assert stmt.where == ComparisonPredicate("a", "!=", 5)
+
+    def test_between(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a BETWEEN 1 AND 10")
+        assert stmt.where == BetweenPredicate("a", 1, 10)
+
+    def test_in_list(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a IN (1, 2, 3)")
+        assert stmt.where == InPredicate("a", (1, 2, 3))
+
+    def test_like(self):
+        stmt = parse_sql("SELECT * FROM t WHERE title LIKE '%shirt%'")
+        assert stmt.where == LikePredicate("title", "%shirt%")
+
+    def test_match_full_text(self):
+        stmt = parse_sql("SELECT * FROM t WHERE MATCH(title, 'cotton shirt')")
+        assert stmt.where == MatchPredicate("title", "cotton shirt")
+
+    def test_attr_subattribute(self):
+        stmt = parse_sql("SELECT * FROM t WHERE ATTR(activity) = 'singles_day'")
+        assert stmt.where == SubAttributePredicate("activity", "singles_day")
+
+    def test_not_in_and_not_like(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a NOT IN (1,2) AND b NOT LIKE 'x%'")
+        first, second = stmt.where.children
+        assert isinstance(first, NotNode) and isinstance(first.child, InPredicate)
+        assert isinstance(second, NotNode) and isinstance(second.child, LikePredicate)
+
+    def test_string_values_unescaped(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 'it''s'")
+        assert stmt.where.value == "it's"
+
+    def test_float_values(self):
+        stmt = parse_sql("SELECT * FROM t WHERE amount >= 9.99")
+        assert stmt.where.value == pytest.approx(9.99)
+
+    def test_negative_numbers(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = -5")
+        assert stmt.where.value == -5
+
+
+class TestTimestamps:
+    def test_timestamp_literal_converted_to_epoch(self):
+        stmt = parse_sql(
+            "SELECT * FROM t WHERE created_time >= '2021-09-16 00:00:00'"
+        )
+        assert stmt.where.value == timestamp_to_epoch("2021-09-16 00:00:00")
+
+    def test_date_only_literal(self):
+        stmt = parse_sql("SELECT * FROM t WHERE created_time >= '2021-09-16'")
+        assert isinstance(stmt.where.value, float)
+
+    def test_timestamp_ordering(self):
+        assert timestamp_to_epoch("2021-09-17 00:00:00") > timestamp_to_epoch(
+            "2021-09-16 23:59:59"
+        )
+
+    def test_paper_example_query_parses(self):
+        """The exact query template of Figure 6."""
+        stmt = parse_sql(
+            "SELECT logs FROM transaction_logs "
+            "WHERE tenant_id = 10086 "
+            "AND created_time >= '2021-09-16 00:00:00' "
+            "AND created_time <= '2021-09-17 00:00:00' "
+            "AND status = 1 OR group = 666"
+        )
+        # AND binds tighter than OR.
+        assert isinstance(stmt.where, OrNode)
+        and_part, group_part = stmt.where.children
+        assert isinstance(and_part, AndNode)
+        assert len(and_part.children) == 4
+        assert group_part == ComparisonPredicate("group", "=", 666)
+
+
+class TestBooleanStructure:
+    def test_and_binds_tighter_than_or(self):
+        stmt = parse_sql("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, OrNode)
+        left, right = stmt.where.children
+        assert left == ComparisonPredicate("a", "=", 1)
+        assert isinstance(right, AndNode)
+
+    def test_parentheses_override(self):
+        stmt = parse_sql("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, AndNode)
+        assert isinstance(stmt.where.children[0], OrNode)
+
+    def test_not_prefix(self):
+        stmt = parse_sql("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, NotNode)
+
+    def test_deep_nesting(self):
+        stmt = parse_sql(
+            "SELECT * FROM t WHERE ((a = 1 AND (b = 2 OR c = 3)) OR d = 4)"
+        )
+        assert isinstance(stmt.where, OrNode)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t WHERE a",
+            "SELECT * FROM t WHERE a = ",
+            "SELECT * FROM t LIMIT x",
+            "SELECT * FROM t LIMIT 1.5",
+            "SELECT * FROM t WHERE a BETWEEN 1",
+            "SELECT * FROM t WHERE a IN ()",
+            "INSERT INTO t VALUES (1)",
+            "SELECT * FROM t extra garbage",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises((SqlSyntaxError, UnsupportedSqlError)):
+            parse_sql(bad)
+
+    def test_attr_only_supports_equality(self):
+        with pytest.raises(UnsupportedSqlError):
+            parse_sql("SELECT * FROM t WHERE ATTR(x) > 'v'")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT * FROM t LIMIT -1")
+
+
+@given(
+    column=st.sampled_from(["tenant_id", "status", "group_col"]),
+    value=st.integers(min_value=-(10**6), max_value=10**6),
+    limit=st.integers(min_value=0, max_value=1000),
+)
+def test_property_roundtrip_simple_equality(column, value, limit):
+    stmt = parse_sql(f"SELECT * FROM t WHERE {column} = {value} LIMIT {limit}")
+    assert stmt.where == ComparisonPredicate(column, "=", value)
+    assert stmt.limit == limit
+
+
+@given(values=st.lists(st.integers(0, 999), min_size=1, max_size=10))
+def test_property_in_list_roundtrip(values):
+    literal = ", ".join(map(str, values))
+    stmt = parse_sql(f"SELECT * FROM t WHERE a IN ({literal})")
+    assert stmt.where == InPredicate("a", tuple(values))

@@ -1,0 +1,140 @@
+"""Tests for workload trace persistence and replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import ESDB, EsdbConfig
+from repro.cluster import ClusterTopology
+from repro.errors import ConfigurationError
+from repro.workload import WorkloadConfig
+from repro.workload.trace import TraceInfo, load_into, read_trace, write_trace
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    return tmp_path / "trace.jsonl"
+
+
+class TestWriteRead:
+    def test_roundtrip_header(self, trace_path):
+        info = write_trace(
+            trace_path,
+            rate=100,
+            duration=1.0,
+            workload=WorkloadConfig(num_tenants=500, theta=1.5, seed=9),
+        )
+        loaded, _ = read_trace(trace_path)
+        assert loaded == info
+        assert loaded.theta == 1.5
+
+    def test_document_count_matches_rate_times_duration(self, trace_path):
+        write_trace(trace_path, rate=50, duration=2.0)
+        _, docs = read_trace(trace_path)
+        assert sum(1 for _ in docs) == 100
+
+    def test_documents_have_template_columns(self, trace_path):
+        write_trace(trace_path, rate=10, duration=1.0)
+        _, docs = read_trace(trace_path)
+        doc = next(docs)
+        assert {"transaction_id", "tenant_id", "created_time", "attributes"} <= set(doc)
+
+    def test_deterministic_bytes(self, trace_path, tmp_path):
+        other = tmp_path / "other.jsonl"
+        config = WorkloadConfig(num_tenants=100, theta=1.0, seed=4)
+        write_trace(trace_path, rate=20, duration=1.0, workload=config)
+        write_trace(other, rate=20, duration=1.0, workload=config)
+        assert trace_path.read_bytes() == other.read_bytes()
+
+    def test_empty_file_rejected(self, trace_path):
+        trace_path.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_trace(trace_path)
+
+    def test_missing_header_rejected(self, trace_path):
+        trace_path.write_text('{"transaction_id": 1}\n')
+        with pytest.raises(ConfigurationError):
+            read_trace(trace_path)
+
+    def test_bad_version_rejected(self, trace_path):
+        header = {"type": "header", "version": 99, "num_tenants": 1,
+                  "theta": 1.0, "seed": 0, "rate": 1.0, "duration": 1.0}
+        trace_path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(ConfigurationError):
+            read_trace(trace_path)
+
+    def test_corrupt_body_line_raises_with_line_number(self, trace_path):
+        write_trace(trace_path, rate=5, duration=1.0)
+        lines = trace_path.read_text().splitlines()
+        lines[2] = "{not json"
+        trace_path.write_text("\n".join(lines) + "\n")
+        _, docs = read_trace(trace_path)
+        with pytest.raises(ConfigurationError, match="line 3"):
+            list(docs)
+
+    def test_blank_lines_skipped(self, trace_path):
+        write_trace(trace_path, rate=5, duration=1.0)
+        trace_path.write_text(trace_path.read_text() + "\n\n")
+        _, docs = read_trace(trace_path)
+        assert sum(1 for _ in docs) == 5
+
+
+class TestReplay:
+    def test_load_into_database(self, trace_path):
+        write_trace(
+            trace_path,
+            rate=100,
+            duration=1.0,
+            workload=WorkloadConfig(num_tenants=50, theta=1.0, seed=2),
+        )
+        db = ESDB(
+            EsdbConfig(topology=ClusterTopology(num_nodes=2, num_shards=8))
+        )
+        _, docs = read_trace(trace_path)
+        count = load_into(db, docs)
+        assert count == 100
+        assert db.doc_count() == 100
+
+    def test_two_instances_get_identical_workloads(self, trace_path):
+        """The point of traces: byte-identical input for compared systems."""
+        write_trace(
+            trace_path,
+            rate=60,
+            duration=1.0,
+            workload=WorkloadConfig(num_tenants=20, theta=1.0, seed=6),
+        )
+        results = []
+        for _ in range(2):
+            db = ESDB(
+                EsdbConfig(topology=ClusterTopology(num_nodes=2, num_shards=8))
+            )
+            _, docs = read_trace(trace_path)
+            load_into(db, docs)
+            result = db.execute_sql("SELECT COUNT(*) FROM t WHERE tenant_id = 1")
+            results.append(result.scalar())
+        assert results[0] == results[1]
+
+
+class TestCli:
+    def test_cli_writes_trace(self, trace_path, capsys):
+        from repro.workload.trace import _main
+
+        code = _main(
+            [
+                "--out",
+                str(trace_path),
+                "--rate",
+                "10",
+                "--duration",
+                "1",
+                "--tenants",
+                "50",
+            ]
+        )
+        assert code == 0
+        assert "wrote 10 docs" in capsys.readouterr().out
+        info, docs = read_trace(trace_path)
+        assert info.num_tenants == 50
+        assert sum(1 for _ in docs) == 10

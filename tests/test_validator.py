@@ -1,0 +1,88 @@
+"""Tests for the statement validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import parse_sql
+from repro.query.validator import StatementValidator, UnknownColumnError
+from repro.storage import Schema
+
+
+@pytest.fixture()
+def validator():
+    return StatementValidator(Schema.transaction_logs())
+
+
+class TestCheck:
+    def test_clean_statement(self, validator):
+        stmt = parse_sql(
+            "SELECT transaction_id, status FROM t "
+            "WHERE tenant_id = 1 AND created_time > 0 ORDER BY created_time LIMIT 5"
+        )
+        assert validator.check(stmt) == []
+
+    def test_unknown_select_column(self, validator):
+        stmt = parse_sql("SELECT nonexistent FROM t")
+        problems = validator.check(stmt)
+        assert problems == ["unknown column 'nonexistent' in SELECT list"]
+
+    def test_unknown_where_column(self, validator):
+        stmt = parse_sql("SELECT * FROM t WHERE typo_field = 1")
+        assert any("in WHERE" in p for p in validator.check(stmt))
+
+    def test_unknown_group_by(self, validator):
+        stmt = parse_sql("SELECT typo, COUNT(*) FROM t GROUP BY typo")
+        problems = validator.check(stmt)
+        assert any("GROUP BY" in p for p in problems)
+
+    def test_unknown_order_by(self, validator):
+        stmt = parse_sql("SELECT * FROM t ORDER BY typo")
+        assert any("ORDER BY" in p for p in validator.check(stmt))
+
+    def test_order_by_aggregate_output_accepted(self, validator):
+        # MySQL-ism: ordering by the aggregate's output name is legal.
+        from repro.query.ast import AggregateProjection, OrderBy, SelectStatement
+
+        stmt = SelectStatement(
+            columns=("status", AggregateProjection("count", "*")),
+            table="t",
+            group_by=("status",),
+            order_by=OrderBy("count(*)"),
+        )
+        assert validator.check(stmt) == []
+
+    def test_match_on_non_text_column_flagged(self, validator):
+        stmt = parse_sql("SELECT * FROM t WHERE MATCH(status, 'x')")
+        assert any("MATCH()" in p for p in validator.check(stmt))
+
+    def test_match_on_text_column_ok(self, validator):
+        stmt = parse_sql("SELECT * FROM t WHERE MATCH(auction_title, 'x')")
+        assert validator.check(stmt) == []
+
+    def test_subattributes_always_allowed(self, validator):
+        stmt = parse_sql("SELECT * FROM t WHERE ATTR(any_custom_thing) = 'v'")
+        assert validator.check(stmt) == []
+
+    def test_aggregate_over_unknown_column(self, validator):
+        stmt = parse_sql("SELECT SUM(typo) FROM t")
+        assert any("sum(typo)" in p for p in validator.check(stmt))
+
+    def test_multiple_problems_reported_together(self, validator):
+        stmt = parse_sql("SELECT bad1, bad2 FROM t WHERE bad3 = 1")
+        assert len(validator.check(stmt)) == 3
+
+
+class TestValidate:
+    def test_raises_on_problems(self, validator):
+        with pytest.raises(UnknownColumnError) as excinfo:
+            validator.validate(parse_sql("SELECT typo FROM t"))
+        assert excinfo.value.problems
+
+    def test_dynamic_mode_tolerates_where_only(self):
+        validator = StatementValidator(Schema.transaction_logs(), allow_dynamic=True)
+        # Unknown predicate column tolerated (flexible schema)...
+        validator.validate(parse_sql("SELECT * FROM t WHERE custom_field = 1"))
+        # ...but a typo in the SELECT list still raises.
+        with pytest.raises(UnknownColumnError):
+            validator.validate(parse_sql("SELECT typo FROM t WHERE custom_field = 1"))
