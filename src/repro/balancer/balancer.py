@@ -17,7 +17,7 @@ proposed rules, and the caller commits them through the consensus protocol
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.balancer.monitor import WorkloadMonitor
 from repro.errors import ConfigurationError

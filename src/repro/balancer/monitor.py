@@ -1,18 +1,27 @@
 """Workload monitor: windowed per-tenant write-throughput statistics (§3.2).
 
 The monitor is the control-layer component that "collects metrics for
-workload balancing": every write is recorded against its tenant, and at the
-end of each reporting period the balancer pulls a per-tenant throughput
-snapshot. Storage per tenant is tracked cumulatively for the initialization
-phase of Algorithm 1.
+workload balancing": every write lands in a per-tenant counter
+(``esdb_tenant_writes_total``) of a :class:`~repro.telemetry.MetricsRegistry`,
+and at the end of each reporting period the balancer pulls a per-tenant
+throughput snapshot computed from counter deltas. Storage per tenant is
+tracked cumulatively for the initialization phase of Algorithm 1.
+
+The registry may be shared (the ESDB facade passes its telemetry registry,
+with an ``instance`` label separating facades), in which case the monitor's
+raw counters show up in metric exports alongside everything else.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.runtime import NullRegistry
+
+TENANT_WRITES_METRIC = "esdb_tenant_writes_total"
 
 
 @dataclass
@@ -33,7 +42,6 @@ class TenantStats:
     storage: int
 
 
-@dataclass
 class WorkloadMonitor:
     """Collects per-tenant write counts in fixed windows.
 
@@ -41,20 +49,48 @@ class WorkloadMonitor:
     periodic throughput proportions, and that is exactly the interface
     Algorithm 1 consumes (``T(K)`` at line 13, ``S(K)`` at line 5).
 
+    Writes accumulate in cumulative registry counters; window statistics are
+    deltas against the counter values captured at the last window roll.
+
     Args:
         window_seconds: length of one reporting window.
+        registry: metrics registry to count in; a private one is created
+            when omitted (or when a no-op registry is passed, so a disabled
+            telemetry domain never breaks balancing).
+        labels: extra labels stamped on every tenant counter (e.g. the
+            facade's ``instance``), keeping monitors on a shared registry
+            from interfering with each other.
     """
 
-    window_seconds: float = 10.0
-    _current: Counter = field(default_factory=Counter, repr=False)
-    _storage: Counter = field(default_factory=Counter, repr=False)
-    _window_start: float = 0.0
-    _last_window: Counter = field(default_factory=Counter, repr=False)
-    _last_window_seconds: float = 0.0
-
-    def __post_init__(self) -> None:
-        if self.window_seconds <= 0:
+    def __init__(
+        self,
+        window_seconds: float = 10.0,
+        registry: MetricsRegistry | None = None,
+        labels: dict | None = None,
+    ) -> None:
+        if window_seconds <= 0:
             raise ConfigurationError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        if registry is None or isinstance(registry, NullRegistry):
+            registry = MetricsRegistry()
+        self.registry = registry
+        self._labels = dict(labels or {})
+        self._counters: dict = {}  # tenant -> Counter metric
+        self._window_base: dict = {}  # tenant -> counter value at window start
+        self._storage_base: dict = {}  # tenant -> counter value at seed time
+        self._storage_seed: Counter = Counter()
+        self._window_start = 0.0
+        self._last_window: Counter = Counter()
+        self._last_window_seconds = 0.0
+
+    def _counter(self, tenant_id: object):
+        counter = self._counters.get(tenant_id)
+        if counter is None:
+            counter = self.registry.counter(
+                TENANT_WRITES_METRIC, tenant=str(tenant_id), **self._labels
+            )
+            self._counters[tenant_id] = counter
+        return counter
 
     def record_write(self, tenant_id: object, now: float, count: int = 1) -> None:
         """Record *count* writes for *tenant_id* at time *now*.
@@ -63,15 +99,19 @@ class WorkloadMonitor:
         """
         if now - self._window_start >= self.window_seconds:
             self.roll_window(now)
-        self._current[tenant_id] += count
-        self._storage[tenant_id] += count
+        self._counter(tenant_id).inc(count)
 
     def roll_window(self, now: float) -> None:
         """Close the current window, making it available to :meth:`throughput`."""
         elapsed = max(now - self._window_start, 1e-9)
-        self._last_window = self._current
+        window = Counter()
+        for tenant, counter in self._counters.items():
+            delta = counter.value - self._window_base.get(tenant, 0.0)
+            if delta:
+                window[tenant] = int(delta)
+            self._window_base[tenant] = counter.value
+        self._last_window = window
         self._last_window_seconds = min(elapsed, self.window_seconds) or self.window_seconds
-        self._current = Counter()
         self._window_start = now
 
     def throughput(self) -> dict:
@@ -88,21 +128,37 @@ class WorkloadMonitor:
             return {}
         return {k: v / total for k, v in self._last_window.items()}
 
+    def _storage_for(self, tenant_id: object) -> int:
+        counter = self._counters.get(tenant_id)
+        written = counter.value - self._storage_base.get(tenant_id, 0.0) if counter else 0.0
+        return int(self._storage_seed.get(tenant_id, 0) + written)
+
     def storage(self) -> dict:
         """Return {tenant_id: cumulative records stored} — ``S(K)``."""
-        return dict(self._storage)
+        tenants = set(self._storage_seed) | set(self._counters)
+        out = {}
+        for tenant in tenants:
+            total = self._storage_for(tenant)
+            if total:
+                out[tenant] = total
+        return out
 
     def storage_shares(self) -> dict:
         """Return {tenant_id: fraction of total storage}."""
-        total = sum(self._storage.values())
+        storage = self.storage()
+        total = sum(storage.values())
         if total == 0:
             return {}
-        return {k: v / total for k, v in self._storage.items()}
+        return {k: v / total for k, v in storage.items()}
 
     def seed_storage(self, storage: dict) -> None:
         """Preload cumulative storage (used when attaching the monitor to an
-        existing cluster whose shards already hold data)."""
-        self._storage = Counter(storage)
+        existing cluster whose shards already hold data). Replaces any
+        storage accumulated so far, matching the historical semantics."""
+        self._storage_seed = Counter(storage)
+        self._storage_base = {
+            tenant: counter.value for tenant, counter in self._counters.items()
+        }
 
     def stats(self) -> list[TenantStats]:
         """Return a combined snapshot sorted by descending write share."""
@@ -112,7 +168,7 @@ class WorkloadMonitor:
                 tenant_id=tenant,
                 writes=self._last_window[tenant],
                 share=share,
-                storage=self._storage.get(tenant, 0),
+                storage=self._storage_for(tenant),
             )
             for tenant, share in shares.items()
         ]

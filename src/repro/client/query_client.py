@@ -14,6 +14,8 @@ from typing import Callable
 from repro.query.aggregator import QueryResult, ResultAggregator
 from repro.query.ast import OrderBy
 from repro.routing import RoutingPolicy, ShardRange
+from repro.telemetry.metrics import exponential_buckets
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 class QueryClient:
@@ -24,10 +26,17 @@ class QueryClient:
     """
 
     def __init__(self, policy: RoutingPolicy,
-                 run_subquery: Callable[[int], list]) -> None:
+                 run_subquery: Callable[[int], list],
+                 telemetry=None) -> None:
         self.policy = policy
         self.run_subquery = run_subquery
         self.stats = {"queries": 0, "subqueries": 0}
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._query_counter = metrics.counter("query_client_queries_total")
+        self._fanout_histogram = metrics.histogram(
+            "query_client_fanout", buckets=exponential_buckets(1, 2, 10)
+        )
 
     def shard_range(self, tenant_id: object) -> ShardRange:
         """The consecutive shards a query for *tenant_id* must touch."""
@@ -46,6 +55,8 @@ class QueryClient:
         result = aggregator.aggregate(self.run_subquery(s) for s in shards)
         self.stats["queries"] += 1
         self.stats["subqueries"] += result.subqueries
+        self._query_counter.inc()
+        self._fanout_histogram.observe(result.subqueries)
         return result
 
     @property

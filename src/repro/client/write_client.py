@@ -16,12 +16,14 @@ Three techniques accelerate writing and contain hotspots:
 from __future__ import annotations
 
 import enum
-from collections import OrderedDict, deque
-from dataclasses import dataclass, field
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
 from repro.errors import ConfigurationError
 from repro.routing import RoutingPolicy
+from repro.telemetry.metrics import exponential_buckets
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 class BatchDecision(enum.Enum):
@@ -78,6 +80,7 @@ class WriteClient:
         policy: RoutingPolicy,
         dispatch: Callable[[int, list], None],
         config: WriteClientConfig | None = None,
+        telemetry=None,
     ) -> None:
         self.policy = policy
         self.dispatch = dispatch
@@ -86,6 +89,23 @@ class WriteClient:
         self._hotspot_queue: OrderedDict = OrderedDict()
         self._hotspots: set = set(self.config.hotspot_tenants_hint)
         self.stats = {"queued": 0, "isolated": 0, "coalesced": 0, "dispatched": 0}
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._decision_counters = {
+            BatchDecision.QUEUED: metrics.counter(
+                "write_client_decisions_total", decision="queued"
+            ),
+            BatchDecision.ISOLATED: metrics.counter(
+                "write_client_decisions_total", decision="isolated"
+            ),
+            BatchDecision.COALESCED: metrics.counter(
+                "write_client_decisions_total", decision="coalesced"
+            ),
+        }
+        self._dispatched_counter = metrics.counter("write_client_dispatched_total")
+        self._batch_histogram = metrics.histogram(
+            "write_client_batch_size", buckets=exponential_buckets(1, 2, 10)
+        )
 
     # -- hotspot management ----------------------------------------------------
     def mark_hotspot(self, tenant_id: object) -> None:
@@ -120,6 +140,7 @@ class WriteClient:
             pending.source.update(source)
             pending.coalesce_count += 1
             self.stats["coalesced"] += 1
+            self._decision_counters[BatchDecision.COALESCED].inc()
             return BatchDecision.COALESCED
 
         shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
@@ -136,6 +157,7 @@ class WriteClient:
         else:
             self.stats["queued"] += 1
             decision = BatchDecision.QUEUED
+        self._decision_counters[decision].inc()
         if len(queue) >= self.config.coalesce_window:
             self._flush_queue(queue)
         return decision
@@ -161,8 +183,10 @@ class WriteClient:
             for start in range(0, len(sources), self.config.batch_size):
                 batch = sources[start : start + self.config.batch_size]
                 self.dispatch(shard_id, batch)
+                self._batch_histogram.observe(len(batch))
                 sent += len(batch)
         self.stats["dispatched"] += sent
+        self._dispatched_counter.inc(sent)
         return sent
 
     # -- introspection -------------------------------------------------------------

@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.cluster.node import Node, NodeRole
+from repro.cluster.node import Node
 from repro.cluster.shard import Replica, Shard
 from repro.errors import ClusterError, ConfigurationError, ShardAllocationError
 

@@ -9,7 +9,7 @@ facade, while the performance simulator only tracks counters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 

@@ -20,7 +20,7 @@ Failure model reproduced here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.consensus.messages import (
     AckMessage,
@@ -31,6 +31,7 @@ from repro.consensus.messages import (
 )
 from repro.errors import ConfigurationError, ConsensusAborted
 from repro.routing.rules import RuleList
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass
@@ -184,6 +185,7 @@ class ConsensusMaster:
         participants: list[Participant],
         config: ConsensusConfig | None = None,
         clock: ClockModel | None = None,
+        telemetry=None,
     ) -> None:
         if not participants:
             raise ConfigurationError("consensus needs at least one participant")
@@ -193,6 +195,15 @@ class ConsensusMaster:
         self.rules = RuleList()
         self._round_counter = 0
         self.history: list[RoundOutcome] = []
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._committed_counter = metrics.counter(
+            "consensus_rounds_total", outcome="committed"
+        )
+        self._aborted_counter = metrics.counter(
+            "consensus_rounds_total", outcome="aborted"
+        )
+        self._wait_histogram = metrics.histogram("consensus_effective_wait_seconds")
 
     def propose(self, proposal: RuleProposal, global_time: float) -> RoundOutcome:
         """Run one full consensus round and return its outcome.
@@ -205,46 +216,58 @@ class ConsensusMaster:
         round_id = self._round_counter
         effective_time = self.clock.now(global_time) + self.config.effective_interval
         prepare = PrepareMessage(round_id, proposal, effective_time)
+        tracer = self.telemetry.tracer
 
-        replies: list[PrepareReply] = []
-        silent: list[str] = []
-        for participant in self.participants:
-            reply = participant.on_prepare(prepare)
-            if reply is None:
-                silent.append(participant.name)  # timeout after T/2
-            else:
-                replies.append(reply)
+        with tracer.span(
+            "consensus.round", tenant=proposal.tenant_id, offset=proposal.offset
+        ):
+            replies: list[PrepareReply] = []
+            silent: list[str] = []
+            with tracer.span("consensus.prepare"):
+                for participant in self.participants:
+                    reply = participant.on_prepare(prepare)
+                    if reply is None:
+                        silent.append(participant.name)  # timeout after T/2
+                    else:
+                        replies.append(reply)
 
-        rejected = [r for r in replies if not r.accepted]
-        if rejected or silent:
-            reason = "; ".join(
-                [f"{r.participant}: {r.reason}" for r in rejected]
-                + [f"{name}: prepare timeout (T/2)" for name in silent]
-            )
-            self._broadcast_commit(round_id, proposal, effective_time, commit=False)
+            rejected = [r for r in replies if not r.accepted]
+            if rejected or silent:
+                reason = "; ".join(
+                    [f"{r.participant}: {r.reason}" for r in rejected]
+                    + [f"{name}: prepare timeout (T/2)" for name in silent]
+                )
+                with tracer.span("consensus.abort"):
+                    self._broadcast_commit(round_id, proposal, effective_time, commit=False)
+                outcome = RoundOutcome(
+                    round_id,
+                    committed=False,
+                    effective_time=effective_time,
+                    proposal=proposal,
+                    abort_reason=reason,
+                    elapsed=self.config.roundtrip_latency,
+                )
+                self.history.append(outcome)
+                self._aborted_counter.inc()
+                raise ConsensusAborted(reason)
+
+            with tracer.span("consensus.commit"):
+                unreachable = self._broadcast_commit(
+                    round_id, proposal, effective_time, commit=True
+                )
+                self.rules.update(effective_time, proposal.offset, proposal.tenant_id)
             outcome = RoundOutcome(
                 round_id,
-                committed=False,
+                committed=True,
                 effective_time=effective_time,
                 proposal=proposal,
-                abort_reason=reason,
-                elapsed=self.config.roundtrip_latency,
+                unreachable_participants=tuple(unreachable),
+                elapsed=2 * self.config.roundtrip_latency,
             )
             self.history.append(outcome)
-            raise ConsensusAborted(reason)
-
-        unreachable = self._broadcast_commit(round_id, proposal, effective_time, commit=True)
-        self.rules.update(effective_time, proposal.offset, proposal.tenant_id)
-        outcome = RoundOutcome(
-            round_id,
-            committed=True,
-            effective_time=effective_time,
-            proposal=proposal,
-            unreachable_participants=tuple(unreachable),
-            elapsed=2 * self.config.roundtrip_latency,
-        )
-        self.history.append(outcome)
-        return outcome
+            self._committed_counter.inc()
+            self._wait_histogram.observe(effective_time - global_time)
+            return outcome
 
     def _broadcast_commit(
         self, round_id: int, proposal: RuleProposal, effective_time: float, commit: bool

@@ -19,8 +19,9 @@ examples and the query-side benchmarks (Figures 16–18).
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.balancer import BalancerConfig, LoadBalancer, WorkloadMonitor
 from repro.cluster import Cluster, ClusterTopology
@@ -47,6 +48,14 @@ from repro.routing import (
     RoutingPolicy,
 )
 from repro.storage import EngineConfig, Schema, ShardEngine
+from repro.telemetry import NULL_TELEMETRY, Span, Telemetry, Tracer
+from repro.telemetry.runtime import default_telemetry
+
+if TYPE_CHECKING:
+    from repro.replication import ReplicaSet
+
+#: Distinguishes instances sharing one registry (profiling runs).
+_INSTANCE_IDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -67,6 +76,10 @@ class EsdbConfig:
             "physical" — maintain a :class:`~repro.replication.ReplicaSet`
             per shard (§5.2) with ``topology.replicas_per_shard`` copies,
             enabling :meth:`ESDB.replicate` and :meth:`ESDB.fail_primary`.
+        telemetry_enabled: collect metrics and traces for this instance
+            (default). With False the instance runs on the no-op telemetry
+            singletons — near-zero overhead, empty :meth:`ESDB.stats_report`
+            counters.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -79,21 +92,32 @@ class EsdbConfig:
     consensus_interval: float = 5.0
     auto_refresh_every: int | None = 1024
     replication: str | None = None
+    telemetry_enabled: bool = True
 
 
 class ESDB:
     """A single-process, fully functional ESDB instance."""
 
     def __init__(
-        self, config: EsdbConfig | None = None, policy: RoutingPolicy | None = None
+        self,
+        config: EsdbConfig | None = None,
+        policy: RoutingPolicy | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config or EsdbConfig()
+        if telemetry is None:
+            telemetry = default_telemetry()
+        if telemetry is None:
+            telemetry = Telemetry() if self.config.telemetry_enabled else NULL_TELEMETRY
+        self.telemetry = telemetry
+        self.instance = f"esdb{next(_INSTANCE_IDS)}"
         self.cluster = Cluster(self.config.topology)
         self.policy = policy or DynamicSecondaryHashRouting(self.cluster.num_shards)
         if self.policy.num_shards != self.cluster.num_shards:
             raise EsdbError(
                 "routing policy shard count does not match cluster topology"
             )
+        self.policy.instrument(self.telemetry)
         engine_config = EngineConfig(
             schema=self.config.schema,
             composite_columns=self.config.composite_columns,
@@ -102,7 +126,9 @@ class ESDB:
             auto_refresh_every=self.config.auto_refresh_every,
         )
         self.engines: dict[int, ShardEngine] = {
-            shard.shard_id: ShardEngine(engine_config, shard_id=shard.shard_id)
+            shard.shard_id: ShardEngine(
+                engine_config, shard_id=shard.shard_id, telemetry=self.telemetry
+            )
             for shard in self.cluster.shards
         }
         self._catalog = CatalogInfo(
@@ -113,9 +139,13 @@ class ESDB:
         )
         self.xdriver = Xdriver4ES()
         self.optimizer = RuleBasedOptimizer(
-            self._catalog, enabled=self.config.optimizer_enabled
+            self._catalog,
+            enabled=self.config.optimizer_enabled,
+            telemetry=self.telemetry,
         )
-        self.monitor = WorkloadMonitor()
+        self.monitor = WorkloadMonitor(
+            registry=self.telemetry.metrics, labels={"instance": self.instance}
+        )
         self.balancer = LoadBalancer(
             self.monitor, self.cluster.num_shards, self.config.balancer
         )
@@ -123,11 +153,12 @@ class ESDB:
         self.consensus = ConsensusMaster(
             participants,
             ConsensusConfig(effective_interval=self.config.consensus_interval),
+            telemetry=self.telemetry,
         )
         self._doc_shard: dict[object, int] = {}
         self._clock = 0.0
         self._subattr_frequencies = FrequencyTracker()
-        self.replica_sets: dict[int, "ReplicaSet"] = {}
+        self.replica_sets: dict[int, ReplicaSet] = {}
         if self.config.replication is not None:
             if self.config.replication != "physical":
                 raise EsdbError(
@@ -137,7 +168,9 @@ class ESDB:
 
             copies = max(self.config.topology.replicas_per_shard, 1)
             self.replica_sets = {
-                shard_id: ReplicaSet(engine, num_replicas=copies)
+                shard_id: ReplicaSet(
+                    engine, num_replicas=copies, telemetry=self.telemetry
+                )
                 for shard_id, engine in self.engines.items()
             }
 
@@ -152,27 +185,42 @@ class ESDB:
 
     # -- write path ------------------------------------------------------------
     def write(self, source: Mapping[str, Any]) -> int:
-        """Route and execute one document write; returns the shard id."""
-        schema = self.config.schema
-        tenant_id = source[schema.tenant_field]
-        doc_id = source[schema.id_field]
-        created_time = float(source[schema.time_field])
-        self.advance_clock(created_time)
-        shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
-        if shard_id in self.replica_sets:
-            self.replica_sets[shard_id].index(source)
-        else:
-            self.engines[shard_id].index(source)
-        self.cluster.shard(shard_id).record_write()
-        self._doc_shard[doc_id] = shard_id
-        self.monitor.record_write(tenant_id, self._clock)
-        raw_attributes = source.get("attributes")
-        if raw_attributes:
-            from repro.storage.document import parse_attributes
+        """Route and execute one document write; returns the shard id.
 
-            self._subattr_frequencies.record_write(
-                parse_attributes(str(raw_attributes)).keys()
-            )
+        Traced client → router (rule-list lookup) → shard engine; the shard
+        id and routing policy land in the span tags, and per-shard write
+        counters plus a latency histogram land in the metrics registry.
+        """
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
+        with tracer.span("write") as span:
+            schema = self.config.schema
+            tenant_id = source[schema.tenant_field]
+            doc_id = source[schema.id_field]
+            created_time = float(source[schema.time_field])
+            self.advance_clock(created_time)
+            with tracer.span("write.route", policy=self.policy.name):
+                shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
+            with tracer.span("write.index", shard=shard_id):
+                if shard_id in self.replica_sets:
+                    self.replica_sets[shard_id].index(source)
+                else:
+                    self.engines[shard_id].index(source)
+            self.cluster.shard(shard_id).record_write()
+            self._doc_shard[doc_id] = shard_id
+            self.monitor.record_write(tenant_id, self._clock)
+            raw_attributes = source.get("attributes")
+            if raw_attributes:
+                from repro.storage.document import parse_attributes
+
+                self._subattr_frequencies.record_write(
+                    parse_attributes(str(raw_attributes)).keys()
+                )
+        metrics = telemetry.metrics
+        metrics.counter("esdb_writes_total", shard=shard_id).inc()
+        if telemetry.enabled:
+            span.tags["shard"] = shard_id
+            metrics.histogram("esdb_write_seconds").observe(span.duration)
         return shard_id
 
     def write_many(self, sources: Iterable[Mapping[str, Any]]) -> int:
@@ -239,74 +287,122 @@ class ESDB:
         effective_time) tuples. No-op for non-dynamic policies."""
         if not isinstance(self.policy, DynamicSecondaryHashRouting):
             return []
-        self.monitor.roll_window(self._clock)
-        committed = []
-        for proposal in self.balancer.rebalance():
-            try:
-                outcome = self.consensus.propose(
-                    RuleProposal("facade", proposal.tenant_id, proposal.offset),
-                    self._clock,
+        metrics = self.telemetry.metrics
+        with self.telemetry.tracer.span("balance.round"):
+            self.monitor.roll_window(self._clock)
+            committed = []
+            for proposal in self.balancer.rebalance():
+                try:
+                    outcome = self.consensus.propose(
+                        RuleProposal("facade", proposal.tenant_id, proposal.offset),
+                        self._clock,
+                    )
+                except ConsensusAborted:
+                    self.balancer.retract(proposal)
+                    metrics.counter("balancer_proposals_total", outcome="aborted").inc()
+                    continue
+                self.policy.rules.update(
+                    outcome.effective_time, proposal.offset, proposal.tenant_id
                 )
-            except ConsensusAborted:
-                self.balancer.retract(proposal)
-                continue
-            self.policy.rules.update(
-                outcome.effective_time, proposal.offset, proposal.tenant_id
-            )
-            committed.append(
-                (proposal.tenant_id, proposal.offset, outcome.effective_time)
-            )
+                metrics.counter("balancer_proposals_total", outcome="committed").inc()
+                committed.append(
+                    (proposal.tenant_id, proposal.offset, outcome.effective_time)
+                )
         return committed
 
     # -- query path ----------------------------------------------------------------
     def execute_sql(self, sql: str) -> QueryResult:
         """End-to-end SQL execution: parse, translate, plan, fan out,
         aggregate."""
-        statement = parse_sql(sql)
-        return self.execute_statement(statement)
+        result, _ = self._execute_traced(self.telemetry.tracer, sql=sql)
+        return result
 
     def execute_statement(self, statement: SelectStatement) -> QueryResult:
-        translated = self.xdriver.translate(statement)
-        statement = translated.statement
-        queried_subattrs = [
-            p.key_name
-            for p in iter_predicates(statement.where)
-            if isinstance(p, SubAttributePredicate)
-        ]
-        if queried_subattrs:
-            self._subattr_frequencies.record_query(queried_subattrs)
-        plan = self.optimizer.plan(statement)
-        shard_ids = self._target_shards(statement)
-        aggregator = ResultAggregator(
-            columns=statement.columns,
-            order_by=statement.order_by,
-            limit=statement.limit,
-            group_by=statement.group_by,
-            having=statement.having,
-        )
+        result, _ = self._execute_traced(self.telemetry.tracer, statement=statement)
+        return result
 
-        push_limit = self._pushdown_limit(statement)
+    def explain_analyze(self, sql: str) -> Span:
+        """EXPLAIN ANALYZE: execute *sql* and return the span tree of the
+        run — parse → rewrite → plan selection → one span per shard
+        subquery → coordinator aggregation, each with its measured duration.
 
-        def subquery_results():
+        Works regardless of the instance's telemetry mode (a dedicated
+        tracer records this one query). The result row count and total hits
+        are attached as tags on the root span; use :meth:`Span.render` for
+        a human-readable tree.
+        """
+        tracer = Tracer()
+        result, root = self._execute_traced(tracer, sql=sql)
+        root.tags["rows"] = len(result.rows)
+        root.tags["total_hits"] = result.total_hits
+        return root
+
+    def _execute_traced(
+        self,
+        tracer,
+        sql: str | None = None,
+        statement: SelectStatement | None = None,
+    ) -> tuple[QueryResult, Span]:
+        """The traced query pipeline shared by execute_sql/execute_statement
+        and explain_analyze."""
+        metrics = self.telemetry.metrics
+        with tracer.span("query") as root:
+            if statement is None:
+                with tracer.span("query.parse"):
+                    statement = parse_sql(sql)
+            with tracer.span("query.rewrite"):
+                translated = self.xdriver.translate(statement)
+                statement = translated.statement
+            queried_subattrs = [
+                p.key_name
+                for p in iter_predicates(statement.where)
+                if isinstance(p, SubAttributePredicate)
+            ]
+            if queried_subattrs:
+                self._subattr_frequencies.record_query(queried_subattrs)
+            with tracer.span("query.plan") as plan_span:
+                plan = self.optimizer.plan(statement)
+                plan_span.tags["root"] = type(plan.root).__name__
+            shard_ids = self._target_shards(statement)
+            root.tags["fanout"] = len(shard_ids)
+            aggregator = ResultAggregator(
+                columns=statement.columns,
+                order_by=statement.order_by,
+                limit=statement.limit,
+                group_by=statement.group_by,
+                having=statement.having,
+            )
+            push_limit = self._pushdown_limit(statement)
+            shard_results = []
             for shard_id in shard_ids:
-                engine = self.engines[shard_id]
-                rows, _ = QueryExecutor(engine).execute(plan)
-                matched = len(rows)
-                if push_limit is not None:
-                    if statement.order_by is not None:
-                        rows = engine.top_k(
-                            rows,
-                            statement.order_by.column,
-                            push_limit,
-                            descending=statement.order_by.descending,
-                        )
-                    elif matched > push_limit:
-                        from repro.storage.postings import PostingList
+                with tracer.span(f"query.shard[{shard_id}]") as sub_span:
+                    engine = self.engines[shard_id]
+                    executor = QueryExecutor(engine, telemetry=self.telemetry)
+                    rows, _ = executor.execute(plan)
+                    matched = len(rows)
+                    if push_limit is not None:
+                        if statement.order_by is not None:
+                            rows = engine.top_k(
+                                rows,
+                                statement.order_by.column,
+                                push_limit,
+                                descending=statement.order_by.descending,
+                            )
+                        elif matched > push_limit:
+                            from repro.storage.postings import PostingList
 
-                        rows = PostingList(list(rows)[:push_limit], presorted=True)
-                yield [doc.source for doc in engine.fetch(rows)], matched
-
-        return aggregator.aggregate_shards(subquery_results())
+                            rows = PostingList(list(rows)[:push_limit], presorted=True)
+                    sub_span.tags["matched"] = matched
+                    shard_results.append(
+                        ([doc.source for doc in engine.fetch(rows)], matched)
+                    )
+            with tracer.span("query.aggregate"):
+                result = aggregator.aggregate_shards(shard_results)
+        metrics.counter("esdb_queries_total").inc()
+        metrics.counter("esdb_subqueries_total").inc(len(shard_ids))
+        if self.telemetry.enabled:
+            metrics.histogram("esdb_query_seconds").observe(root.duration)
+        return result, root
 
     @staticmethod
     def _pushdown_limit(statement: SelectStatement) -> int | None:
@@ -395,7 +491,9 @@ class ESDB:
             indexed_subattributes=self._catalog.indexed_subattributes,
         )
         self.optimizer = RuleBasedOptimizer(
-            self._catalog, enabled=self.config.optimizer_enabled
+            self._catalog,
+            enabled=self.config.optimizer_enabled,
+            telemetry=self.telemetry,
         )
         return name or "_".join(columns)
 
@@ -415,7 +513,9 @@ class ESDB:
             indexed_subattributes=self._catalog.indexed_subattributes,
         )
         self.optimizer = RuleBasedOptimizer(
-            self._catalog, enabled=self.config.optimizer_enabled
+            self._catalog,
+            enabled=self.config.optimizer_enabled,
+            telemetry=self.telemetry,
         )
 
     def list_indexes(self) -> list[str]:
@@ -423,8 +523,16 @@ class ESDB:
         return sorted("_".join(columns) for columns in self._catalog.composite_indexes)
 
     def stats_report(self) -> str:
-        """Human-readable instance report: topology, per-node document
-        distribution, engine counters and committed routing rules."""
+        """Human-readable instance report built from the telemetry registry:
+        topology, per-node document distribution, engine counters, latency
+        quantiles, optimizer plan picks, consensus rounds and committed
+        routing rules.
+
+        With telemetry disabled the engine counter lines fall back to the
+        engines' local :class:`~repro.storage.engine.EngineStats` and the
+        registry-only sections are omitted.
+        """
+        metrics = self.telemetry.metrics
         lines = [self.cluster.describe()]
         per_node: dict[int, int] = {n.node_id: 0 for n in self.cluster.nodes}
         for shard_id, engine in self.engines.items():
@@ -432,14 +540,20 @@ class ESDB:
         lines.append("documents per node:")
         for node_id, count in sorted(per_node.items()):
             lines.append(f"  node-{node_id}: {count}")
-        writes = sum(e.stats.writes for e in self.engines.values())
-        refreshes = sum(e.stats.refreshes for e in self.engines.values())
-        merges = sum(e.stats.merges for e in self.engines.values())
+        if self.telemetry.enabled:
+            writes = int(metrics.total("engine_writes_total"))
+            refreshes = int(metrics.total("engine_refreshes_total"))
+            merges = int(metrics.total("engine_merges_total"))
+        else:
+            writes = sum(e.stats.writes for e in self.engines.values())
+            refreshes = sum(e.stats.refreshes for e in self.engines.values())
+            merges = sum(e.stats.merges for e in self.engines.values())
         segments = sum(e.segment_count() for e in self.engines.values())
         lines.append(
             f"engines: {writes} writes, {refreshes} refreshes, {merges} merges, "
             f"{segments} live segments"
         )
+        lines.extend(self._registry_report_lines())
         if isinstance(self.policy, DynamicSecondaryHashRouting):
             rules = self.policy.rules
             lines.append(f"routing rules: {len(rules)} committed")
@@ -451,3 +565,46 @@ class ESDB:
                     f"tenants=[{', '.join(tenants)}{suffix}]"
                 )
         return "\n".join(lines)
+
+    def _registry_report_lines(self) -> list[str]:
+        """Registry-derived report sections (empty when telemetry is off)."""
+        if not self.telemetry.enabled:
+            return []
+        metrics = self.telemetry.metrics
+        lines = []
+        queries = int(metrics.total("esdb_queries_total"))
+        if queries:
+            subqueries = int(metrics.total("esdb_subqueries_total"))
+            lines.append(
+                f"queries: {queries} executed, "
+                f"avg fan-out {subqueries / queries:.1f} shard(s)"
+            )
+        picks = {
+            metric.labels["path"]: int(metric.value)
+            for metric in metrics.series("optimizer_plan_picks_total")
+        }
+        if picks:
+            rendered = ", ".join(f"{path}={count}" for path, count in sorted(picks.items()))
+            lines.append(f"optimizer picks: {rendered}")
+        for title, name in (
+            ("write latency", "esdb_write_seconds"),
+            ("query latency", "esdb_query_seconds"),
+        ):
+            histogram = metrics.get(name)
+            if histogram is not None and histogram.count:
+                p = histogram.percentiles()
+                lines.append(
+                    f"{title}: p50={p['p50'] * 1e3:.3f}ms p95={p['p95'] * 1e3:.3f}ms "
+                    f"p99={p['p99'] * 1e3:.3f}ms max={p['max'] * 1e3:.3f}ms"
+                )
+        rounds = {
+            metric.labels["outcome"]: int(metric.value)
+            for metric in metrics.series("consensus_rounds_total")
+        }
+        if rounds:
+            lines.append(
+                "consensus rounds: "
+                f"{rounds.get('committed', 0)} committed, "
+                f"{rounds.get('aborted', 0)} aborted"
+            )
+        return lines

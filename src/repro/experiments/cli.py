@@ -11,6 +11,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -43,6 +44,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also render the given table column as an ASCII bar chart",
     )
+    parser.add_argument(
+        "--profile",
+        metavar="OUT_JSON",
+        default=None,
+        help=(
+            "capture telemetry for the whole run (metrics from every ESDB "
+            "instance plus recent traces) and write a JSON dump here"
+        ),
+    )
     return parser
 
 
@@ -63,14 +73,31 @@ def main(argv: list | None = None) -> int:
         print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(available())}", file=sys.stderr)
         return 2
-    for figure in figures:
-        start = time.perf_counter()
-        result = run(figure, scale=args.scale)
-        elapsed = time.perf_counter() - start
-        print(result.render())
-        if args.chart is not None:
-            print(result.render_chart(args.chart))
-        print(f"({elapsed:.1f}s at scale={args.scale})\n")
+    profile = None
+    if args.profile is not None:
+        from repro.telemetry import Telemetry, set_default_telemetry
+
+        profile = Telemetry()
+        set_default_telemetry(profile)
+    try:
+        for figure in figures:
+            start = time.perf_counter()
+            result = run(figure, scale=args.scale)
+            elapsed = time.perf_counter() - start
+            print(result.render())
+            if args.chart is not None:
+                print(result.render_chart(args.chart))
+            print(f"({elapsed:.1f}s at scale={args.scale})\n")
+    finally:
+        if profile is not None:
+            from repro.telemetry import profile_dump, set_default_telemetry
+
+            set_default_telemetry(None)
+            traces = list(profile.tracer.finished)[-20:]
+            payload = profile_dump(profile.metrics, traces)
+            with open(args.profile, "w") as handle:
+                json.dump(payload, handle, indent=2, sort_keys=True)
+            print(f"telemetry profile written to {args.profile}")
     return 0
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from collections import Counter
 
-import numpy as np
 
 from repro.experiments.base import ExperimentResult, Scale, experiment, fmt
 from repro.routing import DoubleHashRouting, DynamicSecondaryHashRouting, HashRouting

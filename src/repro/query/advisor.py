@@ -23,7 +23,7 @@ caller can feed into :class:`~repro.storage.engine.EngineConfig`.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.errors import ConfigurationError

@@ -17,7 +17,7 @@ from repro.query.ast import (
     AggregateProjection,
     FunctionProjection,
     OrderBy,
-    projection_name,
+
 )
 
 

@@ -8,9 +8,8 @@ pure tree transforms; the cost-aware decisions live in the optimizer.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterator, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterator
 
 from repro.errors import UnsupportedSqlError
 

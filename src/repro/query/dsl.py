@@ -11,7 +11,7 @@ parsed into execution plans), so the translation is a structural mapping:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import UnsupportedSqlError

@@ -8,7 +8,6 @@ smaller intermediate posting lists than Figure 7's.
 
 from __future__ import annotations
 
-import fnmatch
 import re
 from dataclasses import dataclass, field
 from typing import Any
@@ -35,6 +34,7 @@ from repro.query.planner import (
 from repro.storage.document import FieldType, parse_attributes
 from repro.storage.engine import ShardEngine
 from repro.storage.postings import PostingList
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass
@@ -72,13 +72,19 @@ def _like_to_regex(pattern: str) -> re.Pattern:
 class QueryExecutor:
     """Executes physical plans on one :class:`ShardEngine`."""
 
-    def __init__(self, engine: ShardEngine) -> None:
+    def __init__(self, engine: ShardEngine, telemetry=None) -> None:
         self.engine = engine
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
 
     def execute(self, plan: PhysicalPlan) -> tuple[PostingList, ExecutionTrace]:
         """Run *plan*; returns the matched rows and the operator trace."""
         trace = ExecutionTrace()
         rows = self._run(plan.root, trace)
+        if self.telemetry.enabled:
+            metrics = self.telemetry.metrics
+            for operator, size in trace.steps:
+                metrics.counter("executor_operators_total", operator=operator).inc()
+                metrics.counter("executor_postings_total").inc(size)
         return rows, trace
 
     # -- operator dispatch -----------------------------------------------------

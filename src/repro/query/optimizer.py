@@ -56,6 +56,7 @@ from repro.query.planner import (
     WildcardScan,
 )
 from repro.storage.document import FieldType, Schema
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 class AccessPath(enum.Enum):
@@ -88,9 +89,17 @@ class CatalogInfo:
 class RuleBasedOptimizer:
     """Builds :class:`PhysicalPlan` trees from rewritten SELECT statements."""
 
-    def __init__(self, catalog: CatalogInfo, *, enabled: bool = True) -> None:
+    def __init__(
+        self, catalog: CatalogInfo, *, enabled: bool = True, telemetry=None
+    ) -> None:
         self.catalog = catalog
         self.enabled = enabled
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        self._pick_counters = {
+            path: metrics.counter("optimizer_plan_picks_total", path=path.value)
+            for path in AccessPath
+        }
 
     def plan(self, statement: SelectStatement) -> PhysicalPlan:
         """Plan one statement (whose WHERE tree Xdriver4ES already rewrote)."""
@@ -126,7 +135,9 @@ class RuleBasedOptimizer:
         parts: list[PlanNode] = [self._plan_node(n) for n in nested]
 
         if not self.enabled:
-            parts.extend(self._single_column_plan(p) for p in leaves)
+            for p in leaves:
+                self._pick_counters[AccessPath.SINGLE_COLUMN_INDEX].inc()
+                parts.append(self._single_column_plan(p))
             return _combine_intersect(parts)
 
         remaining = list(leaves)
@@ -136,17 +147,22 @@ class RuleBasedOptimizer:
         if composite_pick is not None:
             base, used = composite_pick
             remaining = [p for p in remaining if p not in used]
+            self._pick_counters[AccessPath.COMPOSITE_INDEX].inc()
 
         scan_predicates = [p for p in remaining if self._scannable(p)]
         index_predicates = [p for p in remaining if p not in scan_predicates]
 
-        index_parts = [self._single_column_plan(p) for p in index_predicates]
+        index_parts = []
+        for p in index_predicates:
+            self._pick_counters[AccessPath.SINGLE_COLUMN_INDEX].inc()
+            index_parts.append(self._single_column_plan(p))
         if base is not None:
             index_parts.insert(0, base)
         plan = _combine_intersect(parts + index_parts)
 
         # Layer sequential scans over the selected rows — cheapest last stage.
         for predicate in scan_predicates:
+            self._pick_counters[AccessPath.SEQUENTIAL_SCAN].inc()
             plan = self._wrap_scan(plan, predicate)
         return plan
 

@@ -18,13 +18,14 @@ The replica never re-executes writes. Instead:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ReplicationError
 from repro.replication.costs import ReplicationAccounting
 from repro.storage.engine import ShardEngine
 from repro.storage.segment import Segment
 from repro.storage.translog import TranslogEntry
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -56,10 +57,22 @@ class PhysicalReplicator:
         primary: ShardEngine,
         accounting: ReplicationAccounting | None = None,
         network_seconds_per_byte: float = 0.0,
+        telemetry=None,
     ) -> None:
         self.primary = primary
         self.accounting = accounting or ReplicationAccounting()
         self.network_seconds_per_byte = network_seconds_per_byte
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        shard = str(primary.shard_id)
+        self._segments_counter = metrics.counter(
+            "replication_segments_copied_total", shard=shard
+        )
+        self._bytes_counter = metrics.counter("replication_bytes_copied_total", shard=shard)
+        self._skip_counter = metrics.counter("replication_segment_skips_total", shard=shard)
+        self._prereplicated_counter = metrics.counter(
+            "replication_prereplicated_total", shard=shard
+        )
         self.replica_segments: dict[int, Segment] = {}
         self.replica_translog: list[TranslogEntry] = []
         self.snapshots: list[SegmentSnapshot] = []
@@ -120,28 +133,31 @@ class PhysicalReplicator:
         skipped, which is precisely why pre-replication bounds the
         visibility delay of fresh segments.
         """
-        self.run_prereplication()
-        snapshot = self.build_snapshot(now)
-        # Step 3: primary locks the snapshot's segments during the round.
-        self._locked_segments = set(snapshot.segment_ids)
-        try:
-            missing, stale = self.segment_diff(snapshot)
-            by_id = {s.segment_id: s for s in self.primary.segments}
-            for segment_id in sorted(missing):
-                segment = by_id.get(segment_id)
-                if segment is None:
-                    raise ReplicationError(
-                        f"snapshot {snapshot.snapshot_id} references segment "
-                        f"{segment_id} no longer on the primary"
-                    )
-                self._copy_segment(segment)
-            for segment_id in stale:
-                del self.replica_segments[segment_id]
-            # Step 6: replica acknowledges; primary unlocks.
-        finally:
-            self._locked_segments = set()
-        self._note_visibility()
-        return snapshot
+        with self.telemetry.tracer.span(
+            "replication.round", shard=self.primary.shard_id
+        ):
+            self.run_prereplication()
+            snapshot = self.build_snapshot(now)
+            # Step 3: primary locks the snapshot's segments during the round.
+            self._locked_segments = set(snapshot.segment_ids)
+            try:
+                missing, stale = self.segment_diff(snapshot)
+                by_id = {s.segment_id: s for s in self.primary.segments}
+                for segment_id in sorted(missing):
+                    segment = by_id.get(segment_id)
+                    if segment is None:
+                        raise ReplicationError(
+                            f"snapshot {snapshot.snapshot_id} references segment "
+                            f"{segment_id} no longer on the primary"
+                        )
+                    self._copy_segment(segment)
+                for segment_id in stale:
+                    del self.replica_segments[segment_id]
+                # Step 6: replica acknowledges; primary unlocks.
+            finally:
+                self._locked_segments = set()
+            self._note_visibility()
+            return snapshot
 
     def run_prereplication(self) -> int:
         """Ship any finished merged segments on the independent track."""
@@ -151,15 +167,19 @@ class PhysicalReplicator:
             if merged.segment_id not in self.replica_segments:
                 self._copy_segment(merged)
                 self._prereplicated.add(merged.segment_id)
+                self._prereplicated_counter.inc()
                 shipped += 1
         return shipped
 
     def _copy_segment(self, segment: Segment) -> None:
         if segment.segment_id in self.replica_segments:
             self.accounting.note_skip()
+            self._skip_counter.inc()
             return
         size = segment.approx_bytes()
         self.accounting.charge_copy(size)
+        self._segments_counter.inc()
+        self._bytes_counter.inc(size)
         self._clock += size * self.network_seconds_per_byte
         self.replica_segments[segment.segment_id] = segment
 

@@ -33,10 +33,11 @@ class ReplicaSet:
     """A primary shard engine plus N physical replicas."""
 
     def __init__(self, primary: ShardEngine, num_replicas: int = 1,
-                 network_seconds_per_byte: float = 0.0) -> None:
+                 network_seconds_per_byte: float = 0.0, telemetry=None) -> None:
         if num_replicas < 1:
             raise ReplicationError("a replica set needs at least one replica")
         self.primary = primary
+        self.telemetry = telemetry
         self.replicators: dict[str, PhysicalReplicator] = {}
         for index in range(num_replicas):
             name = f"replica-{index}"
@@ -44,6 +45,7 @@ class ReplicaSet:
                 primary,
                 accounting=ReplicationAccounting(),
                 network_seconds_per_byte=network_seconds_per_byte,
+                telemetry=telemetry,
             )
 
     # -- write path -----------------------------------------------------------

@@ -17,6 +17,7 @@ from typing import Iterator
 from repro.errors import ConfigurationError
 from repro.hashing import h1, h2
 from repro.routing.rules import RuleList
+from repro.telemetry.runtime import NULL_METRIC, NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -62,6 +63,22 @@ class RoutingPolicy(ABC):
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
+        self.telemetry = NULL_TELEMETRY
+        self._route_counter = NULL_METRIC
+        self._fanout_counter = NULL_METRIC
+
+    def instrument(self, telemetry) -> "RoutingPolicy":
+        """Attach a :class:`~repro.telemetry.Telemetry` domain; the routed
+        write and query-fanout counters are resolved once here so the
+        per-write cost is a single ``inc()``. Returns self for chaining."""
+        self.telemetry = telemetry
+        self._route_counter = telemetry.metrics.counter(
+            "routing_writes_total", policy=self.name
+        )
+        self._fanout_counter = telemetry.metrics.counter(
+            "routing_query_fanout_total", policy=self.name
+        )
+        return self
 
     @property
     @abstractmethod
@@ -93,10 +110,13 @@ class HashRouting(RoutingPolicy):
         return "hashing"
 
     def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        self._route_counter.inc()
         return self.base_shard(tenant_id)
 
     def query_shards(self, tenant_id: object) -> ShardRange:
-        return ShardRange(self.base_shard(tenant_id), 1, self.num_shards)
+        shards = ShardRange(self.base_shard(tenant_id), 1, self.num_shards)
+        self._fanout_counter.inc(len(shards))
+        return shards
 
 
 class DoubleHashRouting(RoutingPolicy):
@@ -121,10 +141,13 @@ class DoubleHashRouting(RoutingPolicy):
         return "double-hashing"
 
     def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        self._route_counter.inc()
         return (self.base_shard(tenant_id) + h2(record_id) % self.offset) % self.num_shards
 
     def query_shards(self, tenant_id: object) -> ShardRange:
-        return ShardRange(self.base_shard(tenant_id), self.offset, self.num_shards)
+        shards = ShardRange(self.base_shard(tenant_id), self.offset, self.num_shards)
+        self._fanout_counter.inc(len(shards))
+        return shards
 
 
 class DynamicSecondaryHashRouting(RoutingPolicy):
@@ -141,6 +164,11 @@ class DynamicSecondaryHashRouting(RoutingPolicy):
         super().__init__(num_shards)
         self.rules = rules if rules is not None else RuleList()
 
+    def instrument(self, telemetry) -> "DynamicSecondaryHashRouting":
+        super().instrument(telemetry)
+        self.rules.instrument(telemetry)
+        return self
+
     @property
     def name(self) -> str:
         return "dynamic-secondary-hashing"
@@ -150,14 +178,17 @@ class DynamicSecondaryHashRouting(RoutingPolicy):
         return self.rules.match(tenant_id, created_time)
 
     def route_write(self, tenant_id: object, record_id: object, created_time: float = 0.0) -> int:
+        self._route_counter.inc()
         offset = self.offset_for(tenant_id, created_time)
         return (self.base_shard(tenant_id) + h2(record_id) % offset) % self.num_shards
 
     def query_shards(self, tenant_id: object) -> ShardRange:
         # Queries must cover every shard that may hold historical records:
         # the union over all committed offsets, i.e. the largest one.
-        return ShardRange(
+        shards = ShardRange(
             self.base_shard(tenant_id),
             self.rules.max_offset(tenant_id),
             self.num_shards,
         )
+        self._fanout_counter.inc(len(shards))
+        return shards

@@ -23,12 +23,11 @@ appears in several historical rules. Tenants never matched by any rule use
 
 from __future__ import annotations
 
-import bisect
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import ConfigurationError
+from repro.telemetry.runtime import NULL_METRIC
 
 DEFAULT_OFFSET = 1
 
@@ -72,8 +71,16 @@ class RuleList:
         self._rules: list[SecondaryHashingRule] = []
         self._by_key: dict[tuple[float, int], int] = {}
         self._by_tenant: dict[object, list[int]] = {}
+        self._lookup_counter = NULL_METRIC
+        self._hit_counter = NULL_METRIC
         for rule in rules:
             self.insert(rule.effective_time, rule.offset, rule.tenants)
+
+    def instrument(self, telemetry) -> "RuleList":
+        """Attach telemetry counters for rule lookups and non-default hits."""
+        self._lookup_counter = telemetry.metrics.counter("routing_rule_lookups_total")
+        self._hit_counter = telemetry.metrics.counter("routing_rule_matches_total")
+        return self
 
     def __len__(self) -> int:
         return len(self._rules)
@@ -119,11 +126,14 @@ class RuleList:
         Applies the three matching conditions of §4.2 and falls back to
         ``DEFAULT_OFFSET`` (= 1, single shard) when no rule covers the record.
         """
+        self._lookup_counter.inc()
         best = DEFAULT_OFFSET
         for index in self._by_tenant.get(tenant_id, ()):
             rule = self._rules[index]
             if rule.effective_time <= created_time and rule.offset > best:
                 best = rule.offset
+        if best != DEFAULT_OFFSET:
+            self._hit_counter.inc()
         return best
 
     def max_offset(self, tenant_id: object) -> int:

@@ -14,6 +14,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.telemetry.metrics import bucket_quantiles, exponential_buckets
+
+# Write delays land between sub-millisecond and tens of seconds; 48 buckets
+# growing 1.35x from 1ms keep the interpolation error of the quantiles small.
+DELAY_BUCKETS = exponential_buckets(1e-3, 1.35, 48)
+
 
 @dataclass
 class TickSample:
@@ -91,6 +97,7 @@ class MetricsCollector:
         node_cpu = np.mean([s.node_cpu for s in steady], axis=0)
         ticks_counted = max(len(self.samples), 1)
         shard_tp = self.shard_throughput_total / ticks_counted
+        quantiles = bucket_quantiles(delays, buckets=DELAY_BUCKETS)
         return SimulationReport(
             offered_rate=offered,
             throughput=throughput,
@@ -100,6 +107,9 @@ class MetricsCollector:
             node_cpu=node_cpu,
             shard_throughput=shard_tp,
             shard_sizes=self.shard_sizes.copy(),
+            delay_p50=quantiles.get(0.5, 0.0),
+            delay_p95=quantiles.get(0.95, 0.0),
+            delay_p99=quantiles.get(0.99, 0.0),
         )
 
 
@@ -119,6 +129,11 @@ class SimulationReport:
     node_cpu: np.ndarray
     shard_throughput: np.ndarray
     shard_sizes: np.ndarray
+    # Per-tick write-delay quantiles over the steady window, computed with
+    # the same bucketed-histogram math as repro.telemetry histograms.
+    delay_p50: float = 0.0
+    delay_p95: float = 0.0
+    delay_p99: float = 0.0
 
     @property
     def node_throughput_std(self) -> float:

@@ -8,7 +8,7 @@ as single-character tokens (Taobao auction titles mix scripts).
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 _TOKEN_RE = re.compile(r"[0-9a-z]+|[一-鿿]", re.UNICODE)

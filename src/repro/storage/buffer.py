@@ -8,7 +8,6 @@ write-path sections reason about.
 
 from __future__ import annotations
 
-from typing import Any, Mapping
 
 from repro.storage.analysis import StandardAnalyzer
 from repro.storage.document import Document

@@ -9,7 +9,7 @@ touching another index.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
 from repro.storage.postings import PostingList
 

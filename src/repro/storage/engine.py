@@ -17,7 +17,7 @@ replication layer uses to demonstrate logical vs physical replication.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
 from repro.errors import DocumentNotFoundError, StorageError
@@ -29,6 +29,7 @@ from repro.storage.merge import MergePolicy, TieredMergePolicy, merge_segments
 from repro.storage.postings import PostingList
 from repro.storage.segment import Segment, SegmentSpec
 from repro.storage.translog import Translog
+from repro.telemetry.runtime import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,7 @@ class ShardEngine:
         shard_id: int = 0,
         merge_policy: MergePolicy | None = None,
         analyzer: StandardAnalyzer | None = None,
+        telemetry=None,
     ) -> None:
         self.config = config
         self.shard_id = shard_id
@@ -98,6 +100,15 @@ class ShardEngine:
         self.stats = EngineStats()
         self._refresh_listeners: list[Callable[[Segment], None]] = []
         self._merge_listeners: list[Callable[[Segment, list[Segment]], None]] = []
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        metrics = self.telemetry.metrics
+        shard = str(shard_id)
+        self._write_counter = metrics.counter("engine_writes_total", shard=shard)
+        self._delete_counter = metrics.counter("engine_deletes_total", shard=shard)
+        self._refresh_counter = metrics.counter("engine_refreshes_total", shard=shard)
+        self._merge_counter = metrics.counter("engine_merges_total", shard=shard)
+        self._flush_counter = metrics.counter("engine_flushes_total", shard=shard)
+        self._fetch_counter = metrics.counter("engine_docs_fetched_total", shard=shard)
 
     # -- listeners (replication hooks) ---------------------------------------
     def on_refresh(self, callback: Callable[[Segment], None]) -> None:
@@ -148,6 +159,7 @@ class ShardEngine:
         for dynamic in self._dynamic_composites.values():
             dynamic.add([doc.get(column) for column in dynamic.columns], row_id)
         self.stats.writes += 1
+        self._write_counter.inc()
         self.stats.indexing_cost += self._indexing_cost(doc)
         return row_id
 
@@ -160,6 +172,7 @@ class ShardEngine:
                 if segment.mark_deleted(row_id):
                     break
         self.stats.deletes += 1
+        self._delete_counter.inc()
 
     def _indexing_cost(self, doc: Document) -> float:
         """Abstract CPU units to index one document: 1 per indexed term."""
@@ -199,15 +212,17 @@ class ShardEngine:
     # -- lifecycle --------------------------------------------------------------
     def refresh(self) -> Segment | None:
         """Seal buffered documents into a searchable segment (§3.3)."""
-        segment = self.buffer.refresh()
-        if segment is None:
-            return None
-        self.segments.append(segment)
-        self.stats.refreshes += 1
-        for listener in self._refresh_listeners:
-            listener(segment)
-        self.maybe_merge()
-        return segment
+        with self.telemetry.tracer.span("engine.refresh", shard=self.shard_id):
+            segment = self.buffer.refresh()
+            if segment is None:
+                return None
+            self.segments.append(segment)
+            self.stats.refreshes += 1
+            self._refresh_counter.inc()
+            for listener in self._refresh_listeners:
+                listener(segment)
+            self.maybe_merge()
+            return segment
 
     def flush(self) -> None:
         """Make refreshed segments the durability floor: checkpoint and
@@ -216,21 +231,26 @@ class ShardEngine:
         self.translog.mark_flushed(self.translog.last_sequence())
         self.translog.truncate_before_flush()
         self.stats.flushes += 1
+        self._flush_counter.inc()
 
     def maybe_merge(self) -> Segment | None:
         """Run one round of the merge policy; returns the merged segment."""
         victims = self.merge_policy.select(self.segments)
         if not victims:
             return None
-        merged = merge_segments(victims, self._spec)
-        victim_ids = {s.segment_id for s in victims}
-        self.segments = [s for s in self.segments if s.segment_id not in victim_ids]
-        self.segments.append(merged)
-        self.stats.merges += 1
-        self.stats.merge_cost += sum(s.live_count for s in victims)
-        for listener in self._merge_listeners:
-            listener(merged, victims)
-        return merged
+        with self.telemetry.tracer.span(
+            "engine.merge", shard=self.shard_id, segments=len(victims)
+        ):
+            merged = merge_segments(victims, self._spec)
+            victim_ids = {s.segment_id for s in victims}
+            self.segments = [s for s in self.segments if s.segment_id not in victim_ids]
+            self.segments.append(merged)
+            self.stats.merges += 1
+            self._merge_counter.inc()
+            self.stats.merge_cost += sum(s.live_count for s in victims)
+            for listener in self._merge_listeners:
+                listener(merged, victims)
+            return merged
 
     def recover_from_translog(self) -> int:
         """Rebuild unflushed state by replaying the translog (crash recovery).
@@ -384,6 +404,7 @@ class ShardEngine:
         """Fetch raw documents for a posting list (the coordinator's second
         phase: row-id collection then raw-data fetch, §3.2)."""
         self.stats.docs_fetched += len(rows)
+        self._fetch_counter.inc(len(rows))
         return [self._get_by_row(row) for row in rows]
 
     def field_value(self, field_name: str, row_id: int):

@@ -13,7 +13,6 @@ applied to its own segments but not newly flushed segments.
 
 from __future__ import annotations
 
-from typing import Callable
 
 from repro.errors import StorageError
 from repro.storage.postings import PostingList

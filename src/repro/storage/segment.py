@@ -11,8 +11,8 @@ makes physical replication (shipping whole segment files) correct.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterator
 
 from repro.errors import StorageError
 from repro.storage.analysis import StandardAnalyzer

@@ -1,0 +1,124 @@
+"""Exporters: JSON dumps and Prometheus-style text exposition.
+
+The JSON format round-trips (``parse_json_snapshot`` restores the snapshot
+dict), so a ``--profile out.json`` dump from one run can be diffed against
+another. The Prometheus format follows the text exposition conventions
+(``name{label="value"} value``, ``_bucket``/``_sum``/``_count`` for
+histograms with cumulative ``le`` buckets) closely enough for a real
+scraper, and :func:`parse_prometheus` reads the counter/gauge lines back
+for tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.telemetry.metrics import MetricsRegistry
+
+
+def to_json(registry: MetricsRegistry, indent: int | None = 2) -> str:
+    """Serialize the registry snapshot as JSON."""
+    return json.dumps(registry.snapshot(), indent=indent, sort_keys=True)
+
+
+def parse_json_snapshot(text: str) -> dict:
+    """Parse a :func:`to_json` dump back into a snapshot dict."""
+    snapshot = json.loads(text)
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snapshot:
+            raise ValueError(f"not a telemetry snapshot: missing {section!r}")
+    return snapshot
+
+
+def _format_labels(labels: dict) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: dict, **extra) -> dict:
+    merged = dict(labels)
+    merged.update({k: str(v) for k, v in extra.items()})
+    return merged
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format."""
+    snapshot = registry.snapshot()
+    lines: list[str] = []
+    for entry in snapshot["counters"]:
+        lines.append(f"# TYPE {entry['name']} counter")
+        lines.append(f"{entry['name']}{_format_labels(entry['labels'])} {entry['value']:g}")
+    for entry in snapshot["gauges"]:
+        lines.append(f"# TYPE {entry['name']} gauge")
+        lines.append(f"{entry['name']}{_format_labels(entry['labels'])} {entry['value']:g}")
+    for entry in snapshot["histograms"]:
+        name = entry["name"]
+        labels = entry["labels"]
+        lines.append(f"# TYPE {name} histogram")
+        cumulative = 0
+        for bound, count in entry["buckets"]:
+            cumulative += count
+            le = "+Inf" if bound == "+Inf" else f"{bound:g}"
+            lines.append(
+                f"{name}_bucket{_format_labels(_merge_labels(labels, le=le))} {cumulative}"
+            )
+        lines.append(f"{name}_sum{_format_labels(labels)} {entry['sum']:g}")
+        lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse counter/gauge/bucket sample lines back into a dict.
+
+    Returns ``{(name, (("label", "value"), ...)): float}`` — enough for
+    round-trip tests; not a full exposition-format parser.
+    """
+    samples: dict[tuple, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        metric_part, _, value_part = line.rpartition(" ")
+        name, labels = _parse_metric(metric_part)
+        samples[(name, labels)] = float(value_part)
+    return samples
+
+
+def _parse_metric(metric_part: str) -> tuple[str, tuple]:
+    if "{" not in metric_part:
+        return metric_part, ()
+    name, _, rest = metric_part.partition("{")
+    body = rest.rstrip("}")
+    labels: list[tuple[str, str]] = []
+    for piece in _split_label_pairs(body):
+        key, _, raw = piece.partition("=")
+        labels.append((key, raw.strip('"')))
+    return name, tuple(sorted(labels))
+
+
+def _split_label_pairs(body: str) -> list[str]:
+    pairs, depth_quote, current = [], False, []
+    for char in body:
+        if char == '"':
+            depth_quote = not depth_quote
+            current.append(char)
+        elif char == "," and not depth_quote:
+            pairs.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    if current:
+        pairs.append("".join(current))
+    return pairs
+
+
+def profile_dump(registry: MetricsRegistry, traces: list | None = None) -> dict[str, Any]:
+    """The ``--profile out.json`` payload: metrics snapshot plus recent
+    trace trees (span name, duration, tags, children)."""
+    payload: dict[str, Any] = {"metrics": registry.snapshot()}
+    if traces:
+        payload["traces"] = [span.to_dict() for span in traces]
+    return payload

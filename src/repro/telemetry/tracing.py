@@ -1,0 +1,147 @@
+"""Lightweight tracing: spans with context propagation.
+
+A :class:`Tracer` maintains a stack of open spans; ``tracer.span(name)``
+opens a child of whatever span is currently active, so a single write can
+be traced client → router → consensus → shard engine → replication without
+threading a context object through every call. Finished root spans are kept
+in a bounded deque for inspection (``ESDB.explain_analyze`` hands one back
+as its result).
+
+Spans are cheap (one object, two clock reads) but not free — the disabled
+mode in :mod:`repro.telemetry.runtime` replaces the tracer with a no-op
+twin whose ``span()`` returns a shared singleton context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Callable, Iterator
+
+#: Finished root spans retained per tracer (old traces are discarded).
+MAX_FINISHED_TRACES = 256
+
+
+class Span:
+    """One timed stage of an operation, with tags and child spans."""
+
+    __slots__ = ("name", "tags", "start", "end", "children")
+
+    def __init__(self, name: str, tags: dict | None = None) -> None:
+        self.name = name
+        self.tags = tags or {}
+        self.start = 0.0
+        self.end: float | None = None
+        self.children: list[Span] = []
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """Pre-order traversal of this span and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def stage_names(self) -> list[str]:
+        """Names of every span in the tree, pre-order."""
+        return [span.name for span in self.walk()]
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) whose name equals *name*."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_prefix(self, prefix: str) -> list["Span"]:
+        """All spans in the tree whose name starts with *prefix*."""
+        return [span for span in self.walk() if span.name.startswith(prefix)]
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation of the span tree."""
+        out: dict[str, Any] = {"name": self.name, "duration": self.duration}
+        if self.tags:
+            out["tags"] = {str(k): str(v) for k, v in self.tags.items()}
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    def render(self, indent: int = 0) -> str:
+        """Human-readable tree with per-stage timings."""
+        tag_text = (
+            " {" + ", ".join(f"{k}={v}" for k, v in self.tags.items()) + "}"
+            if self.tags
+            else ""
+        )
+        lines = [f"{'  ' * indent}{self.name}: {self.duration * 1000:.3f} ms{tag_text}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration * 1000:.3f}ms, {len(self.children)} children)"
+
+
+class _SpanContext:
+    """Context manager opening one span under the tracer's current span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        parent = tracer._stack[-1] if tracer._stack else None
+        if parent is not None:
+            parent.children.append(span)
+        tracer._stack.append(span)
+        span.start = tracer.clock()
+        return span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        span = self._span
+        span.end = tracer.clock()
+        if exc_type is not None:
+            span.tags.setdefault("error", exc_type.__name__)
+        stack = tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            tracer.finished.append(span)
+
+
+class Tracer:
+    """Opens nested spans and collects finished traces.
+
+    Single-threaded by design (matching the rest of the reproduction): the
+    open-span stack *is* the propagated context.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self.clock = clock
+        self._stack: list[Span] = []
+        self.finished: deque = deque(maxlen=MAX_FINISHED_TRACES)
+
+    def span(self, name: str, **tags) -> _SpanContext:
+        """Open a span named *name* as a child of the current span."""
+        return _SpanContext(self, Span(name, tags or None))
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None outside any trace."""
+        return self._stack[-1] if self._stack else None
+
+    def last_trace(self) -> Span | None:
+        """The most recently finished root span."""
+        return self.finished[-1] if self.finished else None

@@ -16,7 +16,7 @@ documents are drawn.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.errors import ConfigurationError

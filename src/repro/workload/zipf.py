@@ -10,7 +10,6 @@ every benchmark deterministic.
 from __future__ import annotations
 
 import bisect
-import itertools
 import random
 from typing import Iterator, Sequence
 

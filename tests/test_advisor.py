@@ -128,7 +128,6 @@ class TestCoverage:
 
     def test_advice_actually_plans_composite(self, engine_config):
         """End-to-end: advice feeds EngineConfig and the RBO uses it."""
-        from dataclasses import replace
 
         from repro.query import RuleBasedOptimizer, Xdriver4ES
         from repro.query.optimizer import CatalogInfo

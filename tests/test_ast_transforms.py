@@ -3,7 +3,6 @@ merge — the Xdriver4ES optimizations of §3.1."""
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.query.ast import (

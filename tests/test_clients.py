@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.client import BatchDecision, QueryClient, WriteClient, WriteClientConfig
 from repro.query.ast import OrderBy

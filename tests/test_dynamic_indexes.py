@@ -8,7 +8,6 @@ import pytest
 from repro import ESDB, EsdbConfig
 from repro.cluster import ClusterTopology
 from repro.errors import StorageError
-from repro.storage import ShardEngine
 from tests.conftest import make_log
 
 SMALL = ClusterTopology(num_nodes=2, num_shards=8)
@@ -85,7 +84,7 @@ class TestFacadeLevel:
         return db
 
     def test_add_index_used_by_optimizer(self, db):
-        from repro.query import Xdriver4ES, parse_sql
+        from repro.query import parse_sql
 
         db.add_index(("group", "created_time"))
         translated = db.xdriver.translate(

@@ -6,14 +6,13 @@ import pytest
 
 from repro.errors import DocumentNotFoundError, TranslogCorruptionError
 from repro.storage import (
-    EngineConfig,
-    Schema,
+
     ShardEngine,
     TieredMergePolicy,
     Translog,
 )
 from repro.storage.merge import merge_segments
-from repro.storage.segment import Segment, SegmentSpec
+from repro.storage.segment import Segment
 from tests.conftest import make_log
 
 

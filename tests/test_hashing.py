@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.hashing import fnv1a_64, h1, h2, splitmix64, stable_hash

@@ -3,14 +3,13 @@ balancing, consensus, storage, replication and the query layer."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro import ESDB, EsdbConfig, DynamicSecondaryHashRouting
 from repro.balancer import BalancerConfig
 from repro.client import WriteClient, WriteClientConfig
 from repro.cluster import ClusterTopology
 from repro.replication import PhysicalReplicator
-from repro.storage import EngineConfig, Schema, ShardEngine
+from repro.storage import ShardEngine
 from repro.workload import TransactionLogGenerator, WorkloadConfig
 from tests.conftest import make_log
 

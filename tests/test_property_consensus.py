@@ -14,7 +14,6 @@ recoveries and repairs, and checks the protocol's safety properties:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

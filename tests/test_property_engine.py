@@ -9,13 +9,12 @@ merging and translog recovery all have to cooperate for it to hold.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import settings
 from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
-    precondition,
+
     rule,
 )
 

@@ -10,7 +10,6 @@ semantics, every access path, the normalization rewrites and the executor.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

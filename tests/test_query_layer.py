@@ -14,13 +14,13 @@ from repro.query import (
     parse_sql,
     to_dsl,
 )
-from repro.query.ast import ComparisonPredicate, OrNode, OrderBy
+from repro.query.ast import OrderBy
 from repro.query.optimizer import CatalogInfo
 from repro.query.planner import (
     CompositeSearch,
-    Intersect,
+
     SequentialScanFilter,
-    TermSearch,
+
     Union,
 )
 from repro.query.aggregator import aggregate_metric

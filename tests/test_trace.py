@@ -10,7 +10,7 @@ from repro import ESDB, EsdbConfig
 from repro.cluster import ClusterTopology
 from repro.errors import ConfigurationError
 from repro.workload import WorkloadConfig
-from repro.workload.trace import TraceInfo, load_into, read_trace, write_trace
+from repro.workload.trace import load_into, read_trace, write_trace
 
 
 @pytest.fixture()
