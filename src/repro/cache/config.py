@@ -1,0 +1,46 @@
+"""Cache sizing and enablement knobs (``EsdbConfig.cache``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Per-level enable switches and byte budgets.
+
+    Attributes:
+        filter_cache_enabled / filter_cache_bytes: segment filter cache
+            (budget is *per shard*, like Lucene's per-segment node cache).
+        request_cache_enabled / request_cache_bytes: shard request cache
+            (one budget shared by all shards of the instance).
+        result_cache_enabled / result_cache_bytes: coordinator result cache.
+    """
+
+    filter_cache_enabled: bool = True
+    filter_cache_bytes: int = 4 * MIB
+    request_cache_enabled: bool = True
+    request_cache_bytes: int = 8 * MIB
+    result_cache_enabled: bool = True
+    result_cache_bytes: int = 8 * MIB
+
+    @staticmethod
+    def off() -> "CacheConfig":
+        """Every level disabled — the caches-off baseline benchmarks use."""
+        return CacheConfig(
+            filter_cache_enabled=False,
+            request_cache_enabled=False,
+            result_cache_enabled=False,
+        )
+
+    def scaled(self, factor: float) -> "CacheConfig":
+        """Same switches, budgets multiplied by *factor* (min 1 KiB)."""
+        return replace(
+            self,
+            filter_cache_bytes=max(KIB, int(self.filter_cache_bytes * factor)),
+            request_cache_bytes=max(KIB, int(self.request_cache_bytes * factor)),
+            result_cache_bytes=max(KIB, int(self.result_cache_bytes * factor)),
+        )

@@ -1,0 +1,88 @@
+"""Level 2: the shard request cache.
+
+Caches one shard's full subquery result — ``(fetched source rows, matched
+count)`` — keyed by ``(shard_id, statement fingerprint, generation)``. The
+generation is the shard engine's read generation (bumped by refresh and by
+segment-level deletes), so an entry can only ever be served against the
+exact searchable state it was computed from; this mirrors Elasticsearch's
+shard request cache, which keys on the reader and invalidates on refresh.
+
+The cache additionally invalidates a shard's entries *eagerly* through the
+engine's ``on_refresh``/``on_merge`` hooks (:meth:`ShardRequestCache.attach`)
+to reclaim memory as soon as the old reader state becomes unreachable.
+Generations are plain keys, not a gatekeeper: a point-in-time
+:class:`~repro.storage.searcher.Searcher`'s pinned generation remains a
+valid key after a concurrent refresh, so repeated reads through an open
+searcher can re-populate and hit under the old generation while fresh
+queries populate the new one.
+"""
+
+from __future__ import annotations
+
+from repro.cache.lru import LruCache, estimate_bytes
+
+
+class ShardRequestCache:
+    """Per-shard subquery results keyed by fingerprint + generation."""
+
+    def __init__(self, max_bytes: int, *, metrics=None) -> None:
+        self._lru = LruCache(
+            max_bytes, level="request", metrics=metrics, on_evict=self._forget
+        )
+        self._by_shard: dict[int, set] = {}
+
+    @property
+    def stats(self):
+        return self._lru.stats
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def get(self, shard_id: int, fingerprint: str, generation: object):
+        return self._lru.get((shard_id, fingerprint, generation))
+
+    def put(
+        self,
+        shard_id: int,
+        fingerprint: str,
+        generation: object,
+        value,
+        cost: int | None = None,
+    ) -> bool:
+        key = (shard_id, fingerprint, generation)
+        if cost is None:
+            cost = estimate_bytes(value)
+        if not self._lru.put(key, value, cost=cost):
+            return False
+        self._by_shard.setdefault(shard_id, set()).add(key)
+        return True
+
+    def invalidate_shard(self, shard_id: int) -> int:
+        """Drop every entry of one shard; returns how many were dropped."""
+        keys = self._by_shard.pop(shard_id, None)
+        if not keys:
+            return 0
+        dropped = 0
+        for key in keys:
+            if self._lru.pop(key) is not None:
+                dropped += 1
+        return dropped
+
+    def attach(self, engine) -> None:
+        """Invalidate this shard's entries on every refresh and merge, via
+        the engine's existing listener hooks."""
+        shard_id = engine.shard_id
+        engine.on_refresh(lambda _segment: self.invalidate_shard(shard_id))
+        engine.on_merge(lambda _merged, _victims: self.invalidate_shard(shard_id))
+
+    def clear(self) -> None:
+        self._lru.clear()
+        self._by_shard.clear()
+
+    def _forget(self, key, _value) -> None:
+        shard_id = key[0]
+        keys = self._by_shard.get(shard_id)
+        if keys is not None:
+            keys.discard(key)
+            if not keys:
+                del self._by_shard[shard_id]

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
+from repro.cache import LruCache
 from repro.query.aggregator import QueryResult, ResultAggregator
 from repro.query.ast import OrderBy
 from repro.routing import RoutingPolicy, ShardRange
@@ -23,16 +24,29 @@ class QueryClient:
 
     ``run_subquery(shard_id) -> list[dict]`` is supplied by the caller
     (facade, simulator, or test double), keeping the client transport-free.
+
+    ``cache_bytes`` (optional) enables a client-side result cache keyed by
+    ``(tenant, projection, order, limit, rule-list version)`` — the same
+    rule-version invalidation as the coordinator result cache, so a rule
+    append atomically retires every cached fan-out. The client cannot see
+    shard data change (``run_subquery`` is opaque), so callers that mutate
+    data between queries must call :meth:`invalidate_cache`.
     """
 
     def __init__(self, policy: RoutingPolicy,
                  run_subquery: Callable[[int], list],
-                 telemetry=None) -> None:
+                 telemetry=None,
+                 cache_bytes: int | None = None) -> None:
         self.policy = policy
         self.run_subquery = run_subquery
         self.stats = {"queries": 0, "subqueries": 0}
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         metrics = self.telemetry.metrics
+        self.cache = (
+            LruCache(cache_bytes, level="client", metrics=metrics)
+            if cache_bytes
+            else None
+        )
         self._query_counter = metrics.counter("query_client_queries_total")
         self._fanout_histogram = metrics.histogram(
             "query_client_fanout", buckets=exponential_buckets(1, 2, 10)
@@ -50,6 +64,14 @@ class QueryClient:
         limit: int | None = None,
     ) -> QueryResult:
         """Execute one tenant query: subquery per shard, then aggregate."""
+        cache_key = None
+        if self.cache is not None:
+            cache_key = (tenant_id, columns, repr(order_by), limit, self._rule_version())
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                self.stats["queries"] += 1
+                self._query_counter.inc()
+                return cached
         shards = self.shard_range(tenant_id)
         aggregator = ResultAggregator(columns=columns, order_by=order_by, limit=limit)
         result = aggregator.aggregate(self.run_subquery(s) for s in shards)
@@ -57,7 +79,18 @@ class QueryClient:
         self.stats["subqueries"] += result.subqueries
         self._query_counter.inc()
         self._fanout_histogram.observe(result.subqueries)
+        if cache_key is not None:
+            self.cache.put(cache_key, result)
         return result
+
+    def _rule_version(self) -> int:
+        rules = getattr(self.policy, "rules", None)
+        return rules.version if rules is not None else 0
+
+    def invalidate_cache(self) -> int:
+        """Drop every client-cached result (call after data changes);
+        returns how many entries were dropped."""
+        return self.cache.clear() if self.cache is not None else 0
 
     @property
     def avg_fanout(self) -> float:

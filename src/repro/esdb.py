@@ -24,6 +24,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
 from repro.balancer import BalancerConfig, LoadBalancer, WorkloadMonitor
+from repro.cache import (
+    CacheConfig,
+    CoordinatorResultCache,
+    ShardRequestCache,
+    sql_fingerprint,
+    statement_fingerprint,
+)
 from repro.cluster import Cluster, ClusterTopology
 from repro.indexing import FrequencyTracker
 from repro.consensus import ConsensusConfig, ConsensusMaster, Participant, RuleProposal
@@ -80,6 +87,10 @@ class EsdbConfig:
             (default). With False the instance runs on the no-op telemetry
             singletons — near-zero overhead, empty :meth:`ESDB.stats_report`
             counters.
+        cache: the three query-cache levels (:mod:`repro.cache`): per-shard
+            segment filter cache, shard request cache, coordinator result
+            cache. Each level is individually disableable and byte-budgeted;
+            ``CacheConfig.off()`` is the caches-off baseline.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -93,6 +104,7 @@ class EsdbConfig:
     auto_refresh_every: int | None = 1024
     replication: str | None = None
     telemetry_enabled: bool = True
+    cache: CacheConfig = field(default_factory=CacheConfig)
 
 
 class ESDB:
@@ -118,12 +130,18 @@ class ESDB:
                 "routing policy shard count does not match cluster topology"
             )
         self.policy.instrument(self.telemetry)
+        cache_config = self.config.cache
         engine_config = EngineConfig(
             schema=self.config.schema,
             composite_columns=self.config.composite_columns,
             scan_columns=self.config.scan_columns,
             indexed_subattributes=self.config.indexed_subattributes,
             auto_refresh_every=self.config.auto_refresh_every,
+            filter_cache_bytes=(
+                cache_config.filter_cache_bytes
+                if cache_config.filter_cache_enabled
+                else None
+            ),
         )
         self.engines: dict[int, ShardEngine] = {
             shard.shard_id: ShardEngine(
@@ -131,6 +149,18 @@ class ESDB:
             )
             for shard in self.cluster.shards
         }
+        self.request_cache: ShardRequestCache | None = None
+        if cache_config.request_cache_enabled:
+            self.request_cache = ShardRequestCache(
+                cache_config.request_cache_bytes, metrics=self.telemetry.metrics
+            )
+            for engine in self.engines.values():
+                self.request_cache.attach(engine)
+        self.result_cache: CoordinatorResultCache | None = None
+        if cache_config.result_cache_enabled:
+            self.result_cache = CoordinatorResultCache(
+                cache_config.result_cache_bytes, metrics=self.telemetry.metrics
+            )
         self._catalog = CatalogInfo(
             schema=self.config.schema,
             composite_indexes=self.config.composite_columns,
@@ -280,6 +310,13 @@ class ESDB:
         promoted.refresh()
         self.engines[shard_id] = promoted
         del self.replica_sets[shard_id]
+        # The shard's engine object (and its generation counter) changed:
+        # drop every cached read that might reference the old primary.
+        if self.request_cache is not None:
+            self.request_cache.invalidate_shard(shard_id)
+            self.request_cache.attach(promoted)
+        if self.result_cache is not None:
+            self.result_cache.clear()
 
     # -- balancing --------------------------------------------------------------
     def rebalance(self) -> list[tuple[object, int, float]]:
@@ -337,6 +374,14 @@ class ESDB:
         root.tags["total_hits"] = result.total_hits
         return root
 
+    def _rule_version(self) -> int:
+        """Current rule-list version (0 for policies without a rule list)."""
+        rules = getattr(self.policy, "rules", None)
+        return rules.version if rules is not None else 0
+
+    def _engine_generation(self, shard_id: int) -> int:
+        return self.engines[shard_id].generation
+
     def _execute_traced(
         self,
         tracer,
@@ -347,62 +392,119 @@ class ESDB:
         and explain_analyze."""
         metrics = self.telemetry.metrics
         with tracer.span("query") as root:
-            if statement is None:
-                with tracer.span("query.parse"):
-                    statement = parse_sql(sql)
-            with tracer.span("query.rewrite"):
-                translated = self.xdriver.translate(statement)
-                statement = translated.statement
-            queried_subattrs = [
-                p.key_name
-                for p in iter_predicates(statement.where)
-                if isinstance(p, SubAttributePredicate)
-            ]
-            if queried_subattrs:
-                self._subattr_frequencies.record_query(queried_subattrs)
-            with tracer.span("query.plan") as plan_span:
-                plan = self.optimizer.plan(statement)
-                plan_span.tags["root"] = type(plan.root).__name__
-            shard_ids = self._target_shards(statement)
-            root.tags["fanout"] = len(shard_ids)
-            aggregator = ResultAggregator(
-                columns=statement.columns,
-                order_by=statement.order_by,
-                limit=statement.limit,
-                group_by=statement.group_by,
-                having=statement.having,
-            )
-            push_limit = self._pushdown_limit(statement)
-            shard_results = []
-            for shard_id in shard_ids:
-                with tracer.span(f"query.shard[{shard_id}]") as sub_span:
-                    engine = self.engines[shard_id]
-                    executor = QueryExecutor(engine, telemetry=self.telemetry)
-                    rows, _ = executor.execute(plan)
-                    matched = len(rows)
-                    if push_limit is not None:
-                        if statement.order_by is not None:
-                            rows = engine.top_k(
-                                rows,
-                                statement.order_by.column,
-                                push_limit,
-                                descending=statement.order_by.descending,
-                            )
-                        elif matched > push_limit:
-                            from repro.storage.postings import PostingList
-
-                            rows = PostingList(list(rows)[:push_limit], presorted=True)
-                    sub_span.tags["matched"] = matched
-                    shard_results.append(
-                        ([doc.source for doc in engine.fetch(rows)], matched)
-                    )
-            with tracer.span("query.aggregate"):
-                result = aggregator.aggregate_shards(shard_results)
+            result_key = None
+            if self.result_cache is not None:
+                fingerprint = (
+                    sql_fingerprint(sql)
+                    if sql is not None
+                    else statement_fingerprint(statement)
+                )
+                result_key = (fingerprint, self._rule_version())
+                cached = self.result_cache.get(*result_key, self._engine_generation)
+                if cached is not None:
+                    # The whole fan-out is skipped: surface the hit as its
+                    # own span where the executor subtree would have been.
+                    with tracer.span(
+                        "cache.hit", level="result", fingerprint=fingerprint
+                    ):
+                        pass
+                    root.tags["cache"] = "hit"
+                    root.tags["fanout"] = cached.subqueries
+                    metrics.counter("esdb_queries_total").inc()
+                    return cached, root
+            result, shard_ids = self._execute_fanout(tracer, root, sql, statement)
+            if result_key is not None:
+                validators = tuple(
+                    (shard_id, self.engines[shard_id].generation)
+                    for shard_id in shard_ids
+                )
+                self.result_cache.put(*result_key, result, validators)
         metrics.counter("esdb_queries_total").inc()
         metrics.counter("esdb_subqueries_total").inc(len(shard_ids))
         if self.telemetry.enabled:
             metrics.histogram("esdb_query_seconds").observe(root.duration)
         return result, root
+
+    def _execute_fanout(
+        self,
+        tracer,
+        root: Span,
+        sql: str | None,
+        statement: SelectStatement | None,
+    ) -> tuple[QueryResult, list[int]]:
+        """Parse → rewrite → plan → per-shard execution (through the shard
+        request cache) → aggregation. Returns the result and the fan-out."""
+        if statement is None:
+            with tracer.span("query.parse"):
+                statement = parse_sql(sql)
+        with tracer.span("query.rewrite"):
+            translated = self.xdriver.translate(statement)
+            statement = translated.statement
+        queried_subattrs = [
+            p.key_name
+            for p in iter_predicates(statement.where)
+            if isinstance(p, SubAttributePredicate)
+        ]
+        if queried_subattrs:
+            self._subattr_frequencies.record_query(queried_subattrs)
+        with tracer.span("query.plan") as plan_span:
+            plan = self.optimizer.plan(statement)
+            plan_span.tags["root"] = type(plan.root).__name__
+        shard_ids = self._target_shards(statement)
+        root.tags["fanout"] = len(shard_ids)
+        aggregator = ResultAggregator(
+            columns=statement.columns,
+            order_by=statement.order_by,
+            limit=statement.limit,
+            group_by=statement.group_by,
+            having=statement.having,
+        )
+        push_limit = self._pushdown_limit(statement)
+        statement_key = (
+            statement_fingerprint(statement) if self.request_cache is not None else None
+        )
+        shard_results = []
+        for shard_id in shard_ids:
+            with tracer.span(f"query.shard[{shard_id}]") as sub_span:
+                engine = self.engines[shard_id]
+                if statement_key is not None:
+                    entry = self.request_cache.get(
+                        shard_id, statement_key, engine.generation
+                    )
+                    if entry is not None:
+                        # Subquery skipped: a cache.hit span stands in for
+                        # the executor subtree.
+                        with tracer.span("cache.hit", level="request"):
+                            pass
+                        sub_span.tags["cache"] = "hit"
+                        sub_span.tags["matched"] = entry[1]
+                        shard_results.append(entry)
+                        continue
+                executor = QueryExecutor(engine, telemetry=self.telemetry)
+                rows, _ = executor.execute(plan)
+                matched = len(rows)
+                if push_limit is not None:
+                    if statement.order_by is not None:
+                        rows = engine.top_k(
+                            rows,
+                            statement.order_by.column,
+                            push_limit,
+                            descending=statement.order_by.descending,
+                        )
+                    elif matched > push_limit:
+                        from repro.storage.postings import PostingList
+
+                        rows = PostingList(list(rows)[:push_limit], presorted=True)
+                sub_span.tags["matched"] = matched
+                entry = ([doc.source for doc in engine.fetch(rows)], matched)
+                if statement_key is not None:
+                    self.request_cache.put(
+                        shard_id, statement_key, engine.generation, entry
+                    )
+                shard_results.append(entry)
+        with tracer.span("query.aggregate"):
+            result = aggregator.aggregate_shards(shard_results)
+        return result, shard_ids
 
     @staticmethod
     def _pushdown_limit(statement: SelectStatement) -> int | None:
@@ -597,6 +699,18 @@ class ESDB:
                     f"{title}: p50={p['p50'] * 1e3:.3f}ms p95={p['p95'] * 1e3:.3f}ms "
                     f"p99={p['p99'] * 1e3:.3f}ms max={p['max'] * 1e3:.3f}ms"
                 )
+        for level in ("filter", "request", "result"):
+            hits = int(metrics.value("cache_hits_total", level=level))
+            misses = int(metrics.value("cache_misses_total", level=level))
+            if hits + misses == 0:
+                continue
+            evictions = int(metrics.value("cache_evictions_total", level=level))
+            size = int(metrics.value("cache_bytes", level=level))
+            rate = 100.0 * hits / (hits + misses)
+            lines.append(
+                f"cache[{level}]: {hits} hits / {misses} misses "
+                f"({rate:.1f}% hit), {evictions} evictions, {size} bytes"
+            )
         rounds = {
             metric.labels["outcome"]: int(metric.value)
             for metric in metrics.series("consensus_rounds_total")

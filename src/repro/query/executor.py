@@ -8,6 +8,7 @@ smaller intermediate posting lists than Figure 7's.
 
 from __future__ import annotations
 
+import functools
 import re
 from dataclasses import dataclass, field
 from typing import Any
@@ -57,7 +58,11 @@ class ExecutionTrace:
         return len(self.steps)
 
 
+@functools.lru_cache(maxsize=512)
 def _like_to_regex(pattern: str) -> re.Pattern:
+    """Compile a LIKE/wildcard pattern to a regex, memoized per pattern —
+    uncached this recompiled on every WildcardScan/like-scan construction,
+    once per query per shard for the workload's repeated templates."""
     parts = []
     for char in pattern:
         if char == "%":

@@ -71,10 +71,22 @@ class RuleList:
         self._rules: list[SecondaryHashingRule] = []
         self._by_key: dict[tuple[float, int], int] = {}
         self._by_tenant: dict[object, list[int]] = {}
+        self._version = 0
         self._lookup_counter = NULL_METRIC
         self._hit_counter = NULL_METRIC
         for rule in rules:
             self.insert(rule.effective_time, rule.offset, rule.tenants)
+
+    @property
+    def version(self) -> int:
+        """Monotonically increasing routing-state counter.
+
+        Bumps on every rule append (:meth:`insert`/:meth:`update`) and on
+        :meth:`compact`. Caches that depend on a query's shard fan-out —
+        the coordinator result cache keys on ``(fingerprint, version)`` —
+        use it to invalidate atomically whenever routing changes.
+        """
+        return self._version
 
     def instrument(self, telemetry) -> "RuleList":
         """Attach telemetry counters for rule lookups and non-default hits."""
@@ -114,6 +126,7 @@ class RuleList:
             slots = self._by_tenant.setdefault(tenant, [])
             if index not in slots:
                 slots.append(index)
+        self._version += 1
         return merged
 
     def update(self, effective_time: float, offset: int, tenant: object) -> SecondaryHashingRule:
@@ -175,6 +188,7 @@ class RuleList:
         the stated reason ESDB restricts offsets to powers of two.
         """
         dropped = 0
+        version = self._version
         surviving: dict[tuple[float, int], set] = {}
         for tenant, indexes in self._by_tenant.items():
             entries = sorted(
@@ -192,4 +206,9 @@ class RuleList:
         self._by_tenant = {}
         for (time_, offset), tenants in sorted(surviving.items()):
             self.insert(time_, offset, tenants)
+        # One compaction is one routing-state transition: exactly +1, even
+        # when nothing was dropped (the rebuild inserts above over-count),
+        # so dependent caches retire fan-outs planned against the
+        # pre-compaction list without skipping key space.
+        self._version = version + 1
         return dropped

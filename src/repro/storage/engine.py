@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
+from repro.cache import SegmentFilterCache, filter_key
 from repro.errors import DocumentNotFoundError, StorageError
 from repro.storage.analysis import StandardAnalyzer
 from repro.storage.buffer import InMemoryBuffer
@@ -45,6 +46,9 @@ class EngineConfig:
             "attributes" column; None indexes all sub-attributes.
         auto_refresh_every: refresh automatically after this many buffered
             docs (None = manual refresh only).
+        filter_cache_bytes: byte budget of the per-shard segment filter
+            cache (posting lists keyed by ``(segment_id, filter)``); None
+            disables the cache.
     """
 
     schema: Schema
@@ -52,6 +56,7 @@ class EngineConfig:
     scan_columns: frozenset = frozenset()
     indexed_subattributes: frozenset | None = None
     auto_refresh_every: int | None = 1024
+    filter_cache_bytes: int | None = 4 * 1024 * 1024
 
     def spec(self) -> SegmentSpec:
         return SegmentSpec(
@@ -98,10 +103,21 @@ class ShardEngine:
         self._doc_locations: dict[object, int] = {}  # doc_id -> row_id
         self._dynamic_composites: dict[str, CompositeIndex] = {}
         self.stats = EngineStats()
+        #: Read generation: bumps whenever the *searchable* result set can
+        #: change — a refresh that seals a segment, or a delete that lands
+        #: in a sealed segment. Buffered writes don't bump it (they are not
+        #: searchable until refresh), and merges don't either (they preserve
+        #: live documents exactly). Request/result caches key on it.
+        self.generation = 0
         self._refresh_listeners: list[Callable[[Segment], None]] = []
         self._merge_listeners: list[Callable[[Segment, list[Segment]], None]] = []
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         metrics = self.telemetry.metrics
+        self.filter_cache = (
+            SegmentFilterCache(config.filter_cache_bytes, metrics=metrics)
+            if config.filter_cache_bytes
+            else None
+        )
         shard = str(shard_id)
         self._write_counter = metrics.counter("engine_writes_total", shard=shard)
         self._delete_counter = metrics.counter("engine_deletes_total", shard=shard)
@@ -170,6 +186,12 @@ class ShardEngine:
         if not self.buffer.delete(row_id):
             for segment in self.segments:
                 if segment.mark_deleted(row_id):
+                    # The sealed segment's live bitmap changed: cached
+                    # posting lists for it are stale, and so is any result
+                    # keyed to the old read generation.
+                    self.generation += 1
+                    if self.filter_cache is not None:
+                        self.filter_cache.invalidate_segment(segment.segment_id)
                     break
         self.stats.deletes += 1
         self._delete_counter.inc()
@@ -217,6 +239,7 @@ class ShardEngine:
             if segment is None:
                 return None
             self.segments.append(segment)
+            self.generation += 1
             self.stats.refreshes += 1
             self._refresh_counter.inc()
             for listener in self._refresh_listeners:
@@ -243,6 +266,9 @@ class ShardEngine:
         ):
             merged = merge_segments(victims, self._spec)
             victim_ids = {s.segment_id for s in victims}
+            if self.filter_cache is not None:
+                for victim_id in victim_ids:
+                    self.filter_cache.invalidate_segment(victim_id)
             self.segments = [s for s in self.segments if s.segment_id not in victim_ids]
             self.segments.append(merged)
             self.stats.merges += 1
@@ -295,24 +321,55 @@ class ShardEngine:
         buffered = live.live_count if live is not None else 0
         return self.doc_count() + buffered
 
-    def term_postings(self, field_name: str, term: object) -> PostingList:
-        lists = [s.term_postings(field_name, term) for s in self._searchable_segments()]
+    def _cached_postings(self, key: tuple, per_segment) -> PostingList:
+        """Union per-segment posting lists, serving each segment's list from
+        the filter cache when present. Segments are immutable, so a cached
+        list stays valid until a delete dirties the segment (invalidated in
+        :meth:`_apply_delete`) or a merge retires it (:meth:`maybe_merge`)."""
+        cache = self.filter_cache
+        if cache is None:
+            return PostingList.union_all(
+                [per_segment(s) for s in self._searchable_segments()]
+            )
+        lists = []
+        for segment in self._searchable_segments():
+            postings = cache.get(segment.segment_id, key)
+            if postings is None:
+                postings = per_segment(segment)
+                cache.put(segment.segment_id, key, postings)
+            lists.append(postings)
         return PostingList.union_all(lists)
+
+    def term_postings(self, field_name: str, term: object) -> PostingList:
+        return self._cached_postings(
+            filter_key("term", field_name, term),
+            lambda s: s.term_postings(field_name, term),
+        )
 
     def text_postings(self, field_name: str, text: str) -> PostingList:
-        lists = [s.text_postings(field_name, text) for s in self._searchable_segments()]
-        return PostingList.union_all(lists)
+        return self._cached_postings(
+            filter_key("text", field_name, text),
+            lambda s: s.text_postings(field_name, text),
+        )
 
     def numeric_range(self, field_name: str, low, high, **bounds) -> PostingList:
-        lists = [
-            s.numeric_range(field_name, low, high, **bounds)
-            for s in self._searchable_segments()
-        ]
-        return PostingList.union_all(lists)
+        key = filter_key(
+            "range",
+            field_name,
+            low,
+            high,
+            bounds.get("include_low", True),
+            bounds.get("include_high", True),
+        )
+        return self._cached_postings(
+            key, lambda s: s.numeric_range(field_name, low, high, **bounds)
+        )
 
     def subattribute_postings(self, key: str, value: str) -> PostingList:
-        lists = [s.subattribute_postings(key, value) for s in self._searchable_segments()]
-        return PostingList.union_all(lists)
+        return self._cached_postings(
+            filter_key("subattr", key, value),
+            lambda s: s.subattribute_postings(key, value),
+        )
 
     def has_subattribute_index(self, key: str) -> bool:
         allowed = self.config.indexed_subattributes

@@ -20,7 +20,15 @@ from repro.storage.segment import Segment
 
 
 class Searcher:
-    """An immutable view over a pinned list of segments."""
+    """An immutable view over a pinned list of segments.
+
+    ``generation`` is fixed at acquisition (the engine's refresh count at
+    that instant) and never changes, no matter how many refreshes or merges
+    happen afterwards — which is what makes it usable as a shard-request-
+    cache key for point-in-time reads: results computed through this
+    searcher stay addressable under its generation while queries against
+    the live engine key under the engine's current generation.
+    """
 
     def __init__(self, segments: list[Segment], generation: int) -> None:
         self._segments = list(segments)
@@ -30,6 +38,10 @@ class Searcher:
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
         self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def __enter__(self) -> "Searcher":
         return self

@@ -308,3 +308,27 @@ class TestAggregator:
     def test_aggregate_all_null(self):
         with pytest.raises(QueryError):
             aggregate_metric([{"v": None}], "v", "avg")
+
+
+class TestLikeRegexMemoization:
+    def test_same_pattern_returns_same_compiled_object(self):
+        from repro.query.executor import _like_to_regex
+
+        assert _like_to_regex("%cotton_%") is _like_to_regex("%cotton_%")
+        assert _like_to_regex("a%") is not _like_to_regex("b%")
+
+    def test_two_executions_reuse_compiled_pattern(self, loaded_engine, catalog):
+        from repro.query.executor import _like_to_regex
+
+        _like_to_regex.cache_clear()
+        sql = "SELECT * FROM t WHERE auction_title LIKE '%cotton%'"
+        translated = Xdriver4ES().translate(parse_sql(sql))
+        plan = RuleBasedOptimizer(catalog).plan(translated.statement)
+        first, _ = QueryExecutor(loaded_engine).execute(plan)
+        after_first = _like_to_regex.cache_info()
+        assert after_first.misses == 1  # compiled exactly once
+        second, _ = QueryExecutor(loaded_engine).execute(plan)
+        after_second = _like_to_regex.cache_info()
+        assert after_second.misses == 1  # no recompilation
+        assert after_second.hits > after_first.hits
+        assert first == second

@@ -227,3 +227,85 @@ def test_property_compaction_never_changes_match(entries, tenant, created):
     rules.compact()
     assert rules.match(tenant, created) == before
     assert rules.max_offset(tenant) == before_max
+
+
+class TestRuleListVersion:
+    def test_starts_at_zero_and_bumps_on_insert(self):
+        rules = RuleList()
+        assert rules.version == 0
+        rules.update(1.0, 2, "t")
+        assert rules.version == 1
+        rules.insert(1.0, 2, ["u"])  # merge into existing rule still bumps
+        assert rules.version == 2
+
+    def test_seeded_list_counts_initial_inserts(self):
+        seeded = RuleList([SecondaryHashingRule(1.0, 2, frozenset({"t"}))])
+        assert seeded.version == 1
+
+    def test_compact_bumps_even_when_nothing_dropped(self):
+        rules = RuleList()
+        rules.update(0.0, 2, "t")
+        rules.update(10.0, 8, "t")  # staircase: nothing is dead
+        version = rules.version
+        assert rules.compact() == 0
+        assert rules.version == version + 1
+
+    def test_version_strictly_monotone_across_mixed_operations(self):
+        rules = RuleList()
+        seen = [rules.version]
+        rules.update(0.0, 16, "t")
+        seen.append(rules.version)
+        rules.update(10.0, 8, "t")
+        seen.append(rules.version)
+        rules.compact()
+        seen.append(rules.version)
+        assert seen == sorted(set(seen))
+
+
+class TestCompactionWithCoordinatorCache:
+    """Regression: compaction must preserve match() AND retire cached
+    fan-outs (version bump), so a coordinator cache never serves a result
+    computed against the pre-compaction rule list."""
+
+    def test_compaction_preserves_match_and_invalidates_cache(self):
+        from repro.cache import CoordinatorResultCache, sql_fingerprint
+
+        rules = RuleList()
+        rules.update(0.0, 16, "t")
+        rules.update(10.0, 8, "t")  # dead: 16 already granted earlier
+        cache = CoordinatorResultCache(4096)
+        fingerprint = sql_fingerprint("SELECT * FROM logs WHERE tenant_id = 't'")
+        cache.put(fingerprint, rules.version, "result@v", validators=(), cost=64)
+        assert cache.get(fingerprint, rules.version, lambda s: 0) == "result@v"
+        version_before = rules.version
+        assert rules.compact() == 1
+        # Match behaviour is unchanged...
+        assert rules.match("t", 11.0) == 16
+        assert rules.max_offset("t") == 16
+        # ...but the version moved, so the cached entry is unreachable.
+        assert rules.version > version_before
+        assert cache.get(fingerprint, rules.version, lambda s: 0) is None
+
+    def test_end_to_end_compaction_recomputes_through_facade(self):
+        from repro import ESDB, EsdbConfig
+        from repro.cluster import ClusterTopology
+        from tests.conftest import make_log
+
+        db = ESDB(EsdbConfig(topology=ClusterTopology(num_nodes=2, num_shards=8),
+                             auto_refresh_every=None))
+        rules = db.policy.rules
+        rules.update(0.0, 4, "t1")
+        rules.update(5.0, 2, "t1")  # dead membership, compaction fodder
+        for i in range(12):
+            db.write(make_log(i, tenant="t1", created=float(10 + i), status=1))
+        db.refresh()
+        sql = "SELECT * FROM transaction_logs WHERE tenant_id = 't1'"
+        before = db.execute_sql(sql)
+        db.execute_sql(sql)
+        assert db.result_cache.stats.hits == 1
+        assert rules.compact() == 1
+        after = db.execute_sql(sql)
+        # Compaction forced a recompute (no new hit), same correct answer.
+        assert db.result_cache.stats.hits == 1
+        assert after.total_hits == before.total_hits == 12
+        assert after.subqueries == before.subqueries

@@ -86,3 +86,54 @@ class TestPointInTime:
         engine.refresh()
         searcher = engine.acquire_searcher()
         assert len(searcher.text_postings("auction_title", "leather satchel")) == 1
+
+
+class TestLifecycleEdges:
+    def test_every_read_method_rejects_after_close(self, engine):
+        engine.index(make_log(1, status=1, created=5.0))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        searcher.close()
+        assert searcher.closed
+        for call in (
+            lambda: searcher.doc_count(),
+            lambda: searcher.segment_count,
+            lambda: searcher.term_postings("status", 1),
+            lambda: searcher.text_postings("auction_title", "red"),
+            lambda: searcher.numeric_range("created_time", 0, 10),
+            lambda: searcher.fetch([]),
+        ):
+            with pytest.raises(StorageError):
+                call()
+
+    def test_close_is_idempotent(self, engine):
+        searcher = engine.acquire_searcher()
+        searcher.close()
+        searcher.close()
+        assert searcher.closed
+
+    def test_generation_stable_across_concurrent_refresh(self, engine):
+        """An open searcher's generation never moves, so it stays usable as
+        a shard-request-cache key while the engine refreshes underneath."""
+        from repro.cache import ShardRequestCache
+
+        for i in range(3):
+            engine.index(make_log(i, status=1))
+        engine.refresh()
+        searcher = engine.acquire_searcher()
+        pinned = searcher.generation
+        cache = ShardRequestCache(4096)
+        rows = [d.doc_id for d in searcher.fetch(searcher.term_postings("status", 1))]
+        cache.put(engine.shard_id, "stmt:q", pinned, (rows, len(rows)))
+        # Concurrent refreshes move the engine's generation but not the
+        # searcher's; the cached point-in-time entry stays addressable.
+        for i in range(3, 6):
+            engine.index(make_log(i, status=1))
+            engine.refresh()
+        assert searcher.generation == pinned
+        assert engine.generation > pinned
+        assert cache.get(engine.shard_id, "stmt:q", pinned) == (rows, len(rows))
+        # A query against the live engine keys under the new generation and
+        # misses — it must recompute rather than see the stale snapshot.
+        assert cache.get(engine.shard_id, "stmt:q", engine.generation) is None
+        assert searcher.doc_count() == 3
