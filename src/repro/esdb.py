@@ -33,6 +33,17 @@ from repro.cache import (
 )
 from repro.cluster import Cluster, ClusterTopology
 from repro.indexing import FrequencyTracker
+from repro.obsv import Observer, ObsvConfig
+from repro.obsv import runtime as obsv_runtime
+from repro.obsv.cat import (
+    CatTable,
+    cat_caches,
+    cat_nodes,
+    cat_rules,
+    cat_shards,
+    cat_tenants,
+)
+from repro.obsv.dashboard import cluster_snapshot, render_dashboard
 from repro.consensus import ConsensusConfig, ConsensusMaster, Participant, RuleProposal
 from repro.errors import ConsensusAborted, EsdbError, QueryError
 from repro.query import (
@@ -91,6 +102,11 @@ class EsdbConfig:
             segment filter cache, shard request cache, coordinator result
             cache. Each level is individually disableable and byte-budgeted;
             ``CacheConfig.off()`` is the caches-off baseline.
+        obsv: the observability layer (:mod:`repro.obsv`): index/search
+            slow logs, rolling-window skew analytics with hot-tenant /
+            hot-shard alerts, and the ``_cat`` / dashboard surfaces.
+            ``ObsvConfig.off()`` removes the observer; the write path then
+            pays one ``is not None`` check.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -105,6 +121,7 @@ class EsdbConfig:
     replication: str | None = None
     telemetry_enabled: bool = True
     cache: CacheConfig = field(default_factory=CacheConfig)
+    obsv: ObsvConfig = field(default_factory=ObsvConfig)
 
 
 class ESDB:
@@ -185,6 +202,16 @@ class ESDB:
             ConsensusConfig(effective_interval=self.config.consensus_interval),
             telemetry=self.telemetry,
         )
+        self.obsv: Observer | None = None
+        if self.config.obsv.enabled:
+            self.obsv = Observer(
+                self.config.obsv,
+                num_shards=self.cluster.num_shards,
+                metrics=self.telemetry.metrics if self.telemetry.enabled else None,
+                window_seconds=self.config.obsv.window_seconds
+                or self.monitor.window_seconds,
+            )
+            obsv_runtime.register(self)
         self._doc_shard: dict[object, int] = {}
         self._clock = 0.0
         self._subattr_frequencies = FrequencyTracker()
@@ -251,6 +278,14 @@ class ESDB:
         if telemetry.enabled:
             span.tags["shard"] = shard_id
             metrics.histogram("esdb_write_seconds").observe(span.duration)
+        if self.obsv is not None:
+            self.obsv.record_write(
+                tenant_id,
+                shard_id,
+                span.duration,
+                self._clock,
+                trace=span if telemetry.enabled else None,
+            )
         return shard_id
 
     def write_many(self, sources: Iterable[Mapping[str, Any]]) -> int:
@@ -327,6 +362,11 @@ class ESDB:
         metrics = self.telemetry.metrics
         with self.telemetry.tracer.span("balance.round"):
             self.monitor.roll_window(self._clock)
+            if self.obsv is not None:
+                # Same clock, same window length: the observer's skew window
+                # closes exactly with the monitor's balancing window, so an
+                # alert and the rule it triggers share one measurement.
+                self.obsv.roll(self._clock)
             committed = []
             for proposal in self.balancer.rebalance():
                 try:
@@ -342,6 +382,13 @@ class ESDB:
                     outcome.effective_time, proposal.offset, proposal.tenant_id
                 )
                 metrics.counter("balancer_proposals_total", outcome="committed").inc()
+                if self.obsv is not None:
+                    self.obsv.annotate_committed(
+                        self.policy.rules,
+                        proposal.tenant_id,
+                        proposal.offset,
+                        outcome.effective_time,
+                    )
                 committed.append(
                     (proposal.tenant_id, proposal.offset, outcome.effective_time)
                 )
@@ -391,6 +438,8 @@ class ESDB:
         """The traced query pipeline shared by execute_sql/execute_statement
         and explain_analyze."""
         metrics = self.telemetry.metrics
+        cache_hit = False
+        shard_ids: list[int] = []
         with tracer.span("query") as root:
             result_key = None
             if self.result_cache is not None:
@@ -410,20 +459,51 @@ class ESDB:
                         pass
                     root.tags["cache"] = "hit"
                     root.tags["fanout"] = cached.subqueries
-                    metrics.counter("esdb_queries_total").inc()
-                    return cached, root
-            result, shard_ids = self._execute_fanout(tracer, root, sql, statement)
-            if result_key is not None:
-                validators = tuple(
-                    (shard_id, self.engines[shard_id].generation)
-                    for shard_id in shard_ids
+                    result = cached
+                    cache_hit = True
+            if not cache_hit:
+                result, shard_ids, statement = self._execute_fanout(
+                    tracer, root, sql, statement
                 )
-                self.result_cache.put(*result_key, result, validators)
+                if result_key is not None:
+                    validators = tuple(
+                        (shard_id, self.engines[shard_id].generation)
+                        for shard_id in shard_ids
+                    )
+                    self.result_cache.put(*result_key, result, validators)
         metrics.counter("esdb_queries_total").inc()
-        metrics.counter("esdb_subqueries_total").inc(len(shard_ids))
-        if self.telemetry.enabled:
-            metrics.histogram("esdb_query_seconds").observe(root.duration)
+        if not cache_hit:
+            metrics.counter("esdb_subqueries_total").inc(len(shard_ids))
+            if self.telemetry.enabled:
+                metrics.histogram("esdb_query_seconds").observe(root.duration)
+        if self.obsv is not None:
+            if sql is not None:
+                detail = sql.strip()
+            else:
+                detail = statement_fingerprint(statement) if statement else ""
+            self.obsv.record_search(
+                self._statement_tenant(statement),
+                root.duration,
+                self._clock,
+                detail=detail,
+                trace=root,
+            )
         return result, root
+
+    def _statement_tenant(self, statement: SelectStatement | None):
+        """The tenant a statement targets via an equality predicate (the
+        shard-pruning condition), or None for cross-tenant queries."""
+        if statement is None:
+            return None
+        tenant_field = self.config.schema.tenant_field
+        for predicate in iter_predicates(statement.where):
+            if (
+                isinstance(predicate, ComparisonPredicate)
+                and predicate.column == tenant_field
+                and predicate.op == "="
+            ):
+                return predicate.value
+        return None
 
     def _execute_fanout(
         self,
@@ -431,9 +511,10 @@ class ESDB:
         root: Span,
         sql: str | None,
         statement: SelectStatement | None,
-    ) -> tuple[QueryResult, list[int]]:
+    ) -> tuple[QueryResult, list[int], SelectStatement]:
         """Parse → rewrite → plan → per-shard execution (through the shard
-        request cache) → aggregation. Returns the result and the fan-out."""
+        request cache) → aggregation. Returns the result, the fan-out, and
+        the rewritten statement."""
         if statement is None:
             with tracer.span("query.parse"):
                 statement = parse_sql(sql)
@@ -504,7 +585,7 @@ class ESDB:
                 shard_results.append(entry)
         with tracer.span("query.aggregate"):
             result = aggregator.aggregate_shards(shard_results)
-        return result, shard_ids
+        return result, shard_ids, statement
 
     @staticmethod
     def _pushdown_limit(statement: SelectStatement) -> int | None:
@@ -538,6 +619,36 @@ class ESDB:
     def tenant_fanout(self, tenant_id: object) -> int:
         """Subqueries a query for *tenant_id* currently requires."""
         return len(self.policy.query_shards(tenant_id))
+
+    # -- _cat surfaces and the dashboard (repro.obsv) -------------------------
+    def cat_nodes(self) -> CatTable:
+        """``_cat/nodes``: roles, health, shard placement, per-node load."""
+        return cat_nodes(self)
+
+    def cat_shards(self) -> CatTable:
+        """``_cat/shards``: placement, doc count and segments per shard."""
+        return cat_shards(self)
+
+    def cat_tenants(self, k: int | None = None) -> CatTable:
+        """``_cat``-style tenants table: storage, window load, shard span."""
+        return cat_tenants(self, k=k)
+
+    def cat_rules(self) -> CatTable:
+        """Committed secondary hashing rules with their trigger measurements."""
+        return cat_rules(self)
+
+    def cat_caches(self) -> CatTable:
+        """Per-level query-cache statistics."""
+        return cat_caches(self)
+
+    def dashboard(self) -> str:
+        """The one-page text dashboard (nodes, shard heatmap, top tenants,
+        alerts, slow-log tail) — see also ``python -m repro.obsv``."""
+        return render_dashboard(self)
+
+    def obsv_snapshot(self) -> dict:
+        """The dashboard as a JSON-ready dict."""
+        return cluster_snapshot(self)
 
     def suggest_subattribute_indexes(self, k: int = 30) -> frozenset:
         """Frequency-based indexing advisor (§3.2): the top-*k* sub-attributes
@@ -627,21 +738,25 @@ class ESDB:
     def stats_report(self) -> str:
         """Human-readable instance report built from the telemetry registry:
         topology, per-node document distribution, engine counters, latency
-        quantiles, optimizer plan picks, consensus rounds and committed
-        routing rules.
+        quantiles, optimizer plan picks, cache hit rates, consensus rounds,
+        slow-log and skew summaries, and committed routing rules.
 
-        With telemetry disabled the engine counter lines fall back to the
-        engines' local :class:`~repro.storage.engine.EngineStats` and the
-        registry-only sections are omitted.
+        The report is assembled from named sections rendered in sorted
+        section order (deterministic output for diffing). With telemetry
+        disabled the engine counter lines fall back to the engines' local
+        :class:`~repro.storage.engine.EngineStats` and the registry-only
+        sections are omitted.
         """
         metrics = self.telemetry.metrics
-        lines = [self.cluster.describe()]
+        sections: dict[str, list[str]] = {}
+        cluster_lines = [self.cluster.describe()]
         per_node: dict[int, int] = {n.node_id: 0 for n in self.cluster.nodes}
         for shard_id, engine in self.engines.items():
             per_node[self.cluster.shard(shard_id).node_id] += engine.doc_count()
-        lines.append("documents per node:")
+        cluster_lines.append("documents per node:")
         for node_id, count in sorted(per_node.items()):
-            lines.append(f"  node-{node_id}: {count}")
+            cluster_lines.append(f"  node-{node_id}: {count}")
+        sections["cluster"] = cluster_lines
         if self.telemetry.enabled:
             writes = int(metrics.total("engine_writes_total"))
             refreshes = int(metrics.total("engine_refreshes_total"))
@@ -651,43 +766,50 @@ class ESDB:
             refreshes = sum(e.stats.refreshes for e in self.engines.values())
             merges = sum(e.stats.merges for e in self.engines.values())
         segments = sum(e.segment_count() for e in self.engines.values())
-        lines.append(
+        sections["engines"] = [
             f"engines: {writes} writes, {refreshes} refreshes, {merges} merges, "
             f"{segments} live segments"
-        )
-        lines.extend(self._registry_report_lines())
+        ]
+        sections.update(self._registry_report_sections())
+        if self.obsv is not None:
+            sections.update(self.obsv.report_lines())
         if isinstance(self.policy, DynamicSecondaryHashRouting):
             rules = self.policy.rules
-            lines.append(f"routing rules: {len(rules)} committed")
+            rule_lines = [f"routing rules: {len(rules)} committed"]
             for rule in list(rules)[:10]:
                 tenants = sorted(map(str, rule.tenants))[:5]
                 suffix = ", ..." if len(rule.tenants) > 5 else ""
-                lines.append(
+                rule_lines.append(
                     f"  t={rule.effective_time:.2f} s={rule.offset} "
                     f"tenants=[{', '.join(tenants)}{suffix}]"
                 )
+            sections["routing"] = rule_lines
+        lines: list[str] = []
+        for name in sorted(sections):
+            lines.extend(sections[name])
         return "\n".join(lines)
 
-    def _registry_report_lines(self) -> list[str]:
+    def _registry_report_sections(self) -> dict[str, list[str]]:
         """Registry-derived report sections (empty when telemetry is off)."""
         if not self.telemetry.enabled:
-            return []
+            return {}
         metrics = self.telemetry.metrics
-        lines = []
+        sections: dict[str, list[str]] = {}
         queries = int(metrics.total("esdb_queries_total"))
         if queries:
             subqueries = int(metrics.total("esdb_subqueries_total"))
-            lines.append(
+            sections["queries"] = [
                 f"queries: {queries} executed, "
                 f"avg fan-out {subqueries / queries:.1f} shard(s)"
-            )
+            ]
         picks = {
             metric.labels["path"]: int(metric.value)
             for metric in metrics.series("optimizer_plan_picks_total")
         }
         if picks:
             rendered = ", ".join(f"{path}={count}" for path, count in sorted(picks.items()))
-            lines.append(f"optimizer picks: {rendered}")
+            sections["optimizer"] = [f"optimizer picks: {rendered}"]
+        latency_lines = []
         for title, name in (
             ("write latency", "esdb_write_seconds"),
             ("query latency", "esdb_query_seconds"),
@@ -695,10 +817,13 @@ class ESDB:
             histogram = metrics.get(name)
             if histogram is not None and histogram.count:
                 p = histogram.percentiles()
-                lines.append(
+                latency_lines.append(
                     f"{title}: p50={p['p50'] * 1e3:.3f}ms p95={p['p95'] * 1e3:.3f}ms "
                     f"p99={p['p99'] * 1e3:.3f}ms max={p['max'] * 1e3:.3f}ms"
                 )
+        if latency_lines:
+            sections["latency"] = latency_lines
+        cache_lines = []
         for level in ("filter", "request", "result"):
             hits = int(metrics.value("cache_hits_total", level=level))
             misses = int(metrics.value("cache_misses_total", level=level))
@@ -707,18 +832,20 @@ class ESDB:
             evictions = int(metrics.value("cache_evictions_total", level=level))
             size = int(metrics.value("cache_bytes", level=level))
             rate = 100.0 * hits / (hits + misses)
-            lines.append(
+            cache_lines.append(
                 f"cache[{level}]: {hits} hits / {misses} misses "
                 f"({rate:.1f}% hit), {evictions} evictions, {size} bytes"
             )
+        if cache_lines:
+            sections["cache"] = cache_lines
         rounds = {
             metric.labels["outcome"]: int(metric.value)
             for metric in metrics.series("consensus_rounds_total")
         }
         if rounds:
-            lines.append(
+            sections["consensus"] = [
                 "consensus rounds: "
                 f"{rounds.get('committed', 0)} committed, "
                 f"{rounds.get('aborted', 0)} aborted"
-            )
-        return lines
+            ]
+        return sections

@@ -53,6 +53,14 @@ def build_parser() -> argparse.ArgumentParser:
             "instance plus recent traces) and write a JSON dump here"
         ),
     )
+    parser.add_argument(
+        "--dashboard",
+        action="store_true",
+        help=(
+            "after the run, print the repro.obsv text dashboard for every "
+            "ESDB instance the experiments created"
+        ),
+    )
     return parser
 
 
@@ -79,6 +87,10 @@ def main(argv: list | None = None) -> int:
 
         profile = Telemetry()
         set_default_telemetry(profile)
+    if args.dashboard:
+        from repro.obsv import runtime as obsv_runtime
+
+        obsv_runtime.start_capture()
     try:
         for figure in figures:
             start = time.perf_counter()
@@ -89,6 +101,12 @@ def main(argv: list | None = None) -> int:
                 print(result.render_chart(args.chart))
             print(f"({elapsed:.1f}s at scale={args.scale})\n")
     finally:
+        if args.dashboard:
+            from repro.obsv import runtime as obsv_runtime
+
+            for db in obsv_runtime.stop_capture():
+                print(db.dashboard())
+                print()
         if profile is not None:
             from repro.telemetry import profile_dump, set_default_telemetry
 

@@ -1,0 +1,74 @@
+"""repro.obsv — cluster introspection, slow logs, live skew analytics.
+
+The operator surface on top of :mod:`repro.telemetry`:
+
+* ``_cat``-style snapshot tables (:func:`cat_nodes`, :func:`cat_shards`,
+  :func:`cat_tenants`, :func:`cat_rules`, :func:`cat_caches`) — structured
+  rows plus aligned-column text, exactly the shape of ``GET _cat/...``;
+* index/search **slow logs** (:class:`SlowLog`) with warn/info thresholds,
+  each entry carrying tenant, shard, elapsed time and the operation's full
+  span tree;
+* tumbling-window **skew analytics** (:class:`SkewWindow` →
+  :class:`WindowStats`): per-shard and per-tenant CV, Gini and max/mean
+  imbalance, a hot-tenant / hot-shard :class:`Alert` detector, and the
+  measurement that annotates each committed routing rule ("why did
+  L(k1) grow");
+* a text **dashboard** / JSON snapshot (:func:`render_dashboard`,
+  :func:`cluster_snapshot`, ``python -m repro.obsv``).
+
+One :class:`Observer` per database instance glues it together; the ESDB
+facade builds it from :class:`ObsvConfig` (``EsdbConfig.obsv``) and the
+simulator reuses the analytics pieces directly.
+"""
+
+from repro.obsv.cat import (
+    CatTable,
+    cat_caches,
+    cat_nodes,
+    cat_rules,
+    cat_shards,
+    cat_tenants,
+)
+from repro.obsv.config import DISABLED, ObsvConfig
+from repro.obsv.dashboard import cluster_snapshot, render_dashboard, shard_heatmap
+from repro.obsv.observer import Observer
+from repro.obsv.skew import (
+    Alert,
+    SkewWindow,
+    WindowStats,
+    annotation_reason,
+    coefficient_of_variation,
+    detect_alerts,
+    gini,
+    max_mean_ratio,
+    rule_measurement,
+    summarize_windows,
+)
+from repro.obsv.slowlog import SlowLog, SlowLogEntry
+
+__all__ = [
+    "Alert",
+    "CatTable",
+    "DISABLED",
+    "Observer",
+    "ObsvConfig",
+    "SkewWindow",
+    "SlowLog",
+    "SlowLogEntry",
+    "WindowStats",
+    "annotation_reason",
+    "cat_caches",
+    "cat_nodes",
+    "cat_rules",
+    "cat_shards",
+    "cat_tenants",
+    "cluster_snapshot",
+    "coefficient_of_variation",
+    "detect_alerts",
+    "gini",
+    "max_mean_ratio",
+    "render_dashboard",
+    "rule_measurement",
+    "shard_heatmap",
+    "summarize_windows",
+]

@@ -1,0 +1,99 @@
+"""``python -m repro.obsv`` — dashboard over a small skewed demo workload.
+
+Builds a tiny cluster, drives a hot-tenant write stream through it (one
+tenant takes the majority of the traffic, so the balancer commits rules
+and the observer raises alerts), runs a few queries, and prints either the
+text dashboard (default) or the JSON cluster snapshot (``--json``) —
+the payload CI parses and archives as a workflow artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+
+def build_demo(seed: int = 0, writes: int = 600):
+    """A small instance after a skewed burst: 4 nodes / 8 shards, one
+    whale tenant at ~60% of the stream, balance rounds every ~5s of
+    logical time. Returns the populated :class:`~repro.esdb.ESDB`."""
+    from repro.balancer import BalancerConfig
+    from repro.cluster import ClusterTopology
+    from repro.esdb import ESDB, EsdbConfig
+    from repro.obsv.config import ObsvConfig
+
+    config = EsdbConfig(
+        topology=ClusterTopology(num_nodes=4, num_shards=8, replicas_per_shard=1),
+        balancer=BalancerConfig(hotspot_share=0.2, target_share_per_shard=0.05),
+        consensus_interval=1.0,
+        # Zero info thresholds: every operation lands in the slow logs, so
+        # the demo dashboard has a tail to show.
+        obsv=ObsvConfig(index_info_seconds=0.0, search_info_seconds=0.0),
+    )
+    db = ESDB(config)
+    rng = random.Random(seed)
+    tenants = [f"t{i}" for i in range(2, 10)]
+    clock = 0.0
+    for txn in range(writes):
+        clock += 0.05
+        tenant = "whale" if rng.random() < 0.6 else rng.choice(tenants)
+        db.write(
+            {
+                "transaction_id": txn,
+                "tenant_id": tenant,
+                "created_time": clock,
+                "status": txn % 3,
+                "group": txn % 5,
+                "amount": rng.randint(1, 500),
+                "quantity": 1 + txn % 4,
+                "auction_title": "demo item",
+                "attributes": "attr_0001:v1;attr_0002:v2",
+            }
+        )
+        if txn and txn % 100 == 0:
+            db.rebalance()
+    db.rebalance()
+    db.refresh()
+    db.execute_sql("SELECT * FROM logs WHERE tenant_id = 'whale' LIMIT 5")
+    db.execute_sql(
+        "SELECT status, COUNT(*) FROM logs WHERE tenant_id = 'whale' GROUP BY status"
+    )
+    return db
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obsv",
+        description="Render the observability dashboard over a demo skewed workload.",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON cluster snapshot instead of the text dashboard",
+    )
+    parser.add_argument(
+        "--writes", type=int, default=600, help="demo writes to ingest (default: 600)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.writes < 1:
+        print("--writes must be >= 1", file=sys.stderr)
+        return 2
+    from repro.obsv.dashboard import cluster_snapshot, render_dashboard
+
+    db = build_demo(seed=args.seed, writes=args.writes)
+    if args.json:
+        print(json.dumps(cluster_snapshot(db), indent=2, sort_keys=True))
+    else:
+        print(render_dashboard(db))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

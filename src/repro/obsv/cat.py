@@ -1,0 +1,223 @@
+"""``_cat``-style snapshot APIs: aligned-column text tables over live state.
+
+Elasticsearch operators live in ``GET _cat/nodes`` and friends; this module
+is the same surface for the reproduction. Each ``cat_*`` function takes an
+:class:`~repro.esdb.ESDB`-shaped object (duck-typed — only ``cluster``,
+``engines``, ``monitor``, ``policy``, ``telemetry`` and friends are
+touched, never imported) and returns a :class:`CatTable`: structured rows
+(``.rows`` / ``.to_dicts()``) plus an aligned text rendering (``.render()``)
+with numeric columns right-aligned, exactly like the real ``_cat`` output.
+"""
+
+from __future__ import annotations
+
+from numbers import Number
+
+
+class CatTable:
+    """A column-aligned table of snapshot rows.
+
+    ``columns`` is the header tuple; ``rows`` is a list of equally long
+    tuples. Rendering right-aligns columns whose values are all numeric.
+    """
+
+    def __init__(self, name: str, columns, rows) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        self.rows = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"cat[{name}]: row width {len(row)} != {len(self.columns)} columns"
+                )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> list[dict]:
+        """Rows as ``{column: value}`` dicts (the JSON shape)."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned-column text: header line, then one line per row."""
+        cells = [list(self.columns)] + [
+            [self._format(value) for value in row] for row in self.rows
+        ]
+        widths = [
+            max(len(line[i]) for line in cells) for i in range(len(self.columns))
+        ]
+        numeric = [
+            all(isinstance(row[i], Number) for row in self.rows) if self.rows else False
+            for i in range(len(self.columns))
+        ]
+        lines = []
+        for line_no, line in enumerate(cells):
+            parts = []
+            for i, text in enumerate(line):
+                if numeric[i] and line_no > 0:
+                    parts.append(text.rjust(widths[i]))
+                else:
+                    parts.append(text.ljust(widths[i]))
+            lines.append(" ".join(parts).rstrip())
+        return "\n".join(lines)
+
+    @staticmethod
+    def _format(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+        return str(value)
+
+
+# -- the five cat surfaces ---------------------------------------------------
+
+
+def _engine_docs(engine) -> int:
+    """Documents a shard holds, counting the not-yet-refreshed buffer too —
+    the operator's 'how much did I ingest' number."""
+    total = getattr(engine, "total_docs_including_buffer", None)
+    return total() if total is not None else engine.doc_count()
+
+
+def cat_nodes(db) -> CatTable:
+    """One row per cluster node: roles, health, shard placement, load."""
+    cluster = db.cluster
+    docs_per_node: dict[int, int] = {n.node_id: 0 for n in cluster.nodes}
+    for shard_id, engine in db.engines.items():
+        docs_per_node[cluster.shard(shard_id).node_id] += _engine_docs(engine)
+    rows = []
+    for node in cluster.nodes:
+        roles = "".join(
+            flag
+            for flag, present in (
+                ("m", node.is_master),
+                ("c", True),
+                ("w", True),
+            )
+            if present
+        )
+        rows.append(
+            (
+                node.name,
+                roles,
+                "up" if node.alive else "down",
+                len(node.shard_ids),
+                len(node.replica_shard_ids),
+                docs_per_node[node.node_id],
+                node.capacity,
+            )
+        )
+    return CatTable(
+        "nodes",
+        ("node", "roles", "health", "primaries", "replicas", "docs", "capacity"),
+        rows,
+    )
+
+
+def cat_shards(db) -> CatTable:
+    """One row per primary shard: placement, document count, segments."""
+    cluster = db.cluster
+    rows = []
+    for shard_id in sorted(db.engines):
+        engine = db.engines[shard_id]
+        shard = cluster.shard(shard_id)
+        replicas = len(cluster.replicas.get(shard_id, []))
+        rows.append(
+            (
+                shard_id,
+                f"node-{shard.node_id}",
+                _engine_docs(engine),
+                engine.segment_count(),
+                replicas,
+            )
+        )
+    return CatTable(
+        "shards", ("shard", "node", "docs", "segments", "replicas"), rows
+    )
+
+
+def cat_tenants(db, k: int | None = None) -> CatTable:
+    """One row per observed tenant: cumulative storage, last-window load,
+    and the current query fan-out (shard span) the rule list grants."""
+    monitor = db.monitor
+    storage = monitor.storage()
+    window = {stat.tenant_id: stat for stat in monitor.stats()}
+    tenants = sorted(
+        set(storage) | set(window),
+        key=lambda t: (-storage.get(t, 0), str(t)),
+    )
+    if k is not None:
+        tenants = tenants[:k]
+    rows = []
+    for tenant in tenants:
+        stat = window.get(tenant)
+        span = len(db.policy.query_shards(tenant))
+        rows.append(
+            (
+                str(tenant),
+                storage.get(tenant, 0),
+                stat.writes if stat else 0,
+                stat.share if stat else 0.0,
+                span,
+            )
+        )
+    return CatTable(
+        "tenants", ("tenant", "docs", "window_writes", "window_share", "span"), rows
+    )
+
+
+def cat_rules(db) -> CatTable:
+    """One row per committed secondary hashing rule, with the skew
+    measurement that triggered it when the observer annotated the commit."""
+    rules = getattr(db.policy, "rules", None)
+    rows = []
+    if rules is not None:
+        annotations = {
+            (a.effective_time, a.offset, a.tenant): a
+            for a in getattr(rules, "annotations", lambda: [])()
+        }
+        for rule in rules:
+            for tenant in sorted(map(str, rule.tenants)):
+                note = annotations.get((rule.effective_time, rule.offset, tenant))
+                rows.append(
+                    (
+                        rule.effective_time,
+                        rule.offset,
+                        tenant,
+                        note.reason if note is not None else "",
+                    )
+                )
+    return CatTable("rules", ("effective_time", "offset", "tenant", "why"), rows)
+
+
+def cat_caches(db) -> CatTable:
+    """One row per query-cache level: hit rate, evictions, bytes held."""
+    metrics = db.telemetry.metrics
+    cache_config = db.config.cache
+    enabled = {
+        "filter": cache_config.filter_cache_enabled,
+        "request": cache_config.request_cache_enabled,
+        "result": cache_config.result_cache_enabled,
+    }
+    rows = []
+    for level in ("filter", "request", "result"):
+        hits = int(metrics.value("cache_hits_total", level=level))
+        misses = int(metrics.value("cache_misses_total", level=level))
+        evictions = int(metrics.value("cache_evictions_total", level=level))
+        size = int(metrics.value("cache_bytes", level=level))
+        rate = 100.0 * hits / (hits + misses) if hits + misses else 0.0
+        rows.append(
+            (
+                level,
+                "on" if enabled[level] else "off",
+                hits,
+                misses,
+                rate,
+                evictions,
+                size,
+            )
+        )
+    return CatTable(
+        "caches",
+        ("level", "enabled", "hits", "misses", "hit_pct", "evictions", "bytes"),
+        rows,
+    )

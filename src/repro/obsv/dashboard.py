@@ -1,0 +1,123 @@
+"""The text dashboard and the JSON cluster snapshot.
+
+``render_dashboard(db)`` composes one terminal-friendly page from the
+``_cat`` tables and the observer: topology header, node table, a per-shard
+document heatmap, the top-k tenants, recent skew alerts and the slow-log
+tail. ``cluster_snapshot(db)`` is the same information as a JSON-ready
+dict (the ``python -m repro.obsv --json`` payload and the CI artifact).
+"""
+
+from __future__ import annotations
+
+from repro.obsv.cat import (
+    _engine_docs,
+    cat_caches,
+    cat_nodes,
+    cat_rules,
+    cat_shards,
+    cat_tenants,
+)
+
+#: Heat ramp from cold to hot, index scaled by load relative to the max.
+_HEAT = " .:-=+*#%@"
+#: Shards rendered per heatmap line.
+_HEAT_WRAP = 64
+
+
+def shard_heatmap(counts: dict) -> str:
+    """Render per-shard document counts as one heat character per shard,
+    wrapped at 64 shards per line and labelled with the starting shard
+    id."""
+    if not counts:
+        return "(no shards)"
+    ordered = [counts[shard_id] for shard_id in sorted(counts)]
+    peak = max(ordered)
+    chars = []
+    for count in ordered:
+        if peak == 0:
+            chars.append(_HEAT[0])
+        else:
+            index = min(int(count / peak * (len(_HEAT) - 1) + 0.5), len(_HEAT) - 1)
+            # A nonzero shard never renders as blank-cold.
+            chars.append(_HEAT[max(index, 1)] if count else _HEAT[0])
+    lines = []
+    for start in range(0, len(chars), _HEAT_WRAP):
+        chunk = "".join(chars[start : start + _HEAT_WRAP])
+        lines.append(f"  [{start:>4}] |{chunk}|")
+    lines.append(f"  scale: ' '=0 .. '@'={peak} docs/shard")
+    return "\n".join(lines)
+
+
+def _shard_docs(db) -> dict:
+    """Per-shard ingested documents, buffered writes included."""
+    return {
+        shard_id: _engine_docs(engine) for shard_id, engine in db.engines.items()
+    }
+
+
+def render_dashboard(db) -> str:
+    """One text page of cluster health: the operator's ``watch`` target."""
+    cluster = db.cluster
+    observer = getattr(db, "obsv", None)
+    top_k = observer.config.top_k if observer is not None else 10
+    shard_docs = _shard_docs(db)
+    sections = [
+        (
+            f"== esdb dashboard :: {cluster.num_nodes} nodes / "
+            f"{cluster.num_shards} shards / {sum(shard_docs.values())} docs / "
+            f"t={db.now:.2f} =="
+        ),
+        "",
+        "-- nodes --",
+        cat_nodes(db).render(),
+        "",
+        "-- shard heatmap (docs) --",
+        shard_heatmap(shard_docs),
+        "",
+        f"-- top {top_k} tenants --",
+        cat_tenants(db, k=top_k).render(),
+    ]
+    rules = cat_rules(db)
+    if len(rules):
+        sections += ["", "-- routing rules --", rules.render()]
+    sections += ["", "-- caches --", cat_caches(db).render()]
+    if observer is not None:
+        alerts = observer.recent_alerts(5)
+        sections += ["", "-- skew alerts --"]
+        if alerts:
+            sections += [f"  {alert.describe()}" for alert in alerts]
+        else:
+            sections.append("  (none)")
+        stats = observer.last_window()
+        if stats is not None:
+            sections.append(f"  last window: {stats.describe()}")
+        sections += ["", "-- slow log tail --"]
+        tail = observer.index_slowlog.tail(5) + observer.search_slowlog.tail(5)
+        tail.sort(key=lambda entry: entry.time)
+        if tail:
+            sections += [f"  {entry.describe()}" for entry in tail[-8:]]
+        else:
+            sections.append("  (empty)")
+    return "\n".join(sections)
+
+
+def cluster_snapshot(db) -> dict:
+    """The dashboard as data: ``nodes`` / ``shards`` / ``tenants`` /
+    ``rules`` / ``caches`` rows plus the observer's ``obsv`` section."""
+    observer = getattr(db, "obsv", None)
+    snapshot = {
+        "time": db.now,
+        "totals": {
+            "nodes": db.cluster.num_nodes,
+            "shards": db.cluster.num_shards,
+            "docs": sum(_shard_docs(db).values()),
+        },
+        "nodes": cat_nodes(db).to_dicts(),
+        "shards": cat_shards(db).to_dicts(),
+        "tenants": cat_tenants(db).to_dicts(),
+        "rules": cat_rules(db).to_dicts(),
+        "caches": cat_caches(db).to_dicts(),
+    }
+    if observer is not None:
+        snapshot["obsv"] = observer.snapshot()
+    return snapshot

@@ -1,0 +1,216 @@
+"""The per-instance Observer: slow logs + skew windows + alerts in one box.
+
+The ESDB facade owns one Observer (when ``ObsvConfig.enabled``); its write
+and query paths feed it after each operation's span closes, and
+``ESDB.rebalance`` rolls its skew window in lockstep with the workload
+monitor so every closed window corresponds to exactly one balancing
+decision. Alerts and slow-log volumes are mirrored into the telemetry
+registry (``obsv_*`` series) so they travel with metric exports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.obsv.config import ObsvConfig
+from repro.obsv.skew import (
+    Alert,
+    SkewWindow,
+    WindowStats,
+    annotation_reason,
+    detect_alerts,
+    rule_measurement,
+    summarize_windows,
+)
+from repro.obsv.slowlog import SlowLog
+
+if TYPE_CHECKING:
+    from repro.routing.rules import RuleList
+    from repro.telemetry import Span
+
+
+class Observer:
+    """Live introspection state for one database instance."""
+
+    def __init__(
+        self,
+        config: ObsvConfig | None = None,
+        num_shards: int = 1,
+        metrics=None,
+        window_seconds: float | None = None,
+    ) -> None:
+        self.config = config or ObsvConfig()
+        window = window_seconds or self.config.window_seconds or 10.0
+        self.skew = SkewWindow(
+            num_shards,
+            window_seconds=window,
+            max_windows=self.config.max_windows,
+        )
+        self.index_slowlog = SlowLog(
+            "index",
+            warn_seconds=self.config.index_warn_seconds,
+            info_seconds=self.config.index_info_seconds,
+            capacity=self.config.slowlog_capacity,
+        )
+        self.search_slowlog = SlowLog(
+            "search",
+            warn_seconds=self.config.search_warn_seconds,
+            info_seconds=self.config.search_info_seconds,
+            capacity=self.config.slowlog_capacity,
+        )
+        self.alerts: deque = deque(maxlen=self.config.max_alerts)
+        self._metrics = metrics
+        if metrics is not None:
+            metrics.set_help(
+                "obsv_alerts_total", "Skew alerts raised, by kind (repro.obsv)"
+            )
+            metrics.set_help(
+                "obsv_slowlog_entries_total",
+                "Slow-log entries recorded, by log and level (repro.obsv)",
+            )
+
+    # -- recording ---------------------------------------------------------
+    def record_write(
+        self,
+        tenant: object,
+        shard: int,
+        elapsed: float,
+        now: float,
+        trace: "Span | None" = None,
+    ) -> None:
+        """Feed one routed write: skew accounting + index slow log.
+
+        Rolls the skew window first when *now* crossed its boundary — the
+        workload monitor does the same with identical window length, so
+        both always close windows at the same instant.
+        """
+        if self.skew.due(now):
+            self.roll(now)
+        self.skew.record(tenant, shard)
+        entry = self.index_slowlog.record(
+            time=now,
+            elapsed=elapsed,
+            tenant=tenant,
+            shard=shard,
+            detail=f"write shard={shard}",
+            trace=trace,
+        )
+        if entry is not None and self._metrics is not None:
+            self._metrics.counter(
+                "obsv_slowlog_entries_total", log="index", level=entry.level
+            ).inc()
+
+    def record_search(
+        self,
+        tenant: object | None,
+        elapsed: float,
+        now: float,
+        detail: str = "",
+        trace: "Span | None" = None,
+    ) -> None:
+        """Feed one executed query into the search slow log."""
+        entry = self.search_slowlog.record(
+            time=now,
+            elapsed=elapsed,
+            tenant=tenant,
+            detail=detail,
+            trace=trace,
+        )
+        if entry is not None and self._metrics is not None:
+            self._metrics.counter(
+                "obsv_slowlog_entries_total", log="search", level=entry.level
+            ).inc()
+
+    # -- windows and alerts ------------------------------------------------
+    def roll(self, now: float) -> WindowStats:
+        """Close the open skew window and run hot-spot detection on it."""
+        stats = self.skew.roll(now)
+        fresh = detect_alerts(
+            stats,
+            hot_tenant_share=self.config.hot_tenant_share,
+            hot_shard_ratio=self.config.hot_shard_ratio,
+        )
+        for alert in fresh:
+            self.alerts.append(alert)
+            if self._metrics is not None:
+                self._metrics.counter("obsv_alerts_total", kind=alert.kind).inc()
+        return stats
+
+    def last_window(self) -> WindowStats | None:
+        return self.skew.last()
+
+    def recent_alerts(self, n: int = 10) -> list[Alert]:
+        alerts = list(self.alerts)
+        return alerts[-n:] if n < len(alerts) else alerts
+
+    # -- rule annotations --------------------------------------------------
+    def annotate_committed(
+        self,
+        rules: "RuleList",
+        tenant: object,
+        offset: int,
+        effective_time: float,
+    ) -> None:
+        """Annotate a freshly committed rule with the window measurement
+        that triggered it ("why did L(k1) grow")."""
+        measurement = rule_measurement(self.skew.last(), tenant)
+        rules.annotate(
+            effective_time,
+            offset,
+            tenant,
+            reason=annotation_reason(tenant, offset, measurement),
+            measurement=measurement or {},
+        )
+
+    # -- report lines and snapshots ---------------------------------------
+    def report_lines(self) -> dict[str, list[str]]:
+        """The ``slowlog`` and ``skew`` sections for ``stats_report()``."""
+        sections: dict[str, list[str]] = {}
+        slow_lines = [
+            log.summary_line()
+            for log in (self.index_slowlog, self.search_slowlog)
+            if len(log) or sum(log.counts.values())
+        ]
+        if slow_lines:
+            sections["slowlog"] = slow_lines
+        stats = self.skew.last()
+        if stats is not None:
+            skew_lines = [
+                (
+                    f"skew[shard]: cv={stats.shard_cv:.3f} gini={stats.shard_gini:.3f} "
+                    f"max/mean={stats.shard_max_mean:.2f} "
+                    f"(window [{stats.start:.2f}, {stats.end:.2f}), {stats.writes} writes)"
+                ),
+                (
+                    f"skew[tenant]: cv={stats.tenant_cv:.3f} "
+                    f"gini={stats.tenant_gini:.3f} "
+                    f"max/mean={stats.tenant_max_mean:.2f}"
+                ),
+            ]
+            if self.alerts:
+                latest = self.alerts[-1]
+                skew_lines.append(
+                    f"skew alerts: {len(self.alerts)} (latest {latest.describe()})"
+                )
+            sections["skew"] = skew_lines
+        return sections
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump of everything the observer holds."""
+        return {
+            "slowlog": {
+                "index": [e.to_dict() for e in self.index_slowlog.tail(20)],
+                "search": [e.to_dict() for e in self.search_slowlog.tail(20)],
+                "counts": {
+                    "index": dict(self.index_slowlog.counts),
+                    "search": dict(self.search_slowlog.counts),
+                },
+            },
+            "skew": {
+                "summary": summarize_windows(self.skew.windows),
+                "windows": [w.to_dict() for w in self.skew.windows],
+                "open_window_writes": self.skew.current_writes,
+            },
+            "alerts": [a.to_dict() for a in self.alerts],
+        }

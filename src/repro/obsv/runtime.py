@@ -1,0 +1,36 @@
+"""Instance capture: find the live databases behind a long run.
+
+The experiments CLI (``--dashboard``) wants to print a dashboard for the
+ESDB instances an experiment created internally, without threading a
+handle through every layer. The facade registers itself here at
+construction time whenever capture is active; outside a capture window
+``register`` is a single ``is None`` check, so normal runs pay nothing.
+
+Captured instances are held strongly: an experiment typically drops its
+databases the moment it returns, and the whole point of the window is to
+inspect them afterwards. The references are released by ``stop_capture``.
+"""
+
+from __future__ import annotations
+
+_capture: list | None = None
+
+
+def start_capture() -> None:
+    """Begin recording ESDB instances created from now on."""
+    global _capture
+    _capture = []
+
+
+def register(db) -> None:
+    """Called by ``ESDB.__init__``; a no-op unless capture is active."""
+    if _capture is not None:
+        _capture.append(db)
+
+
+def stop_capture() -> list:
+    """End the capture window and return the captured instances, in
+    creation order, releasing the registry's references to them."""
+    global _capture
+    captured, _capture = _capture, None
+    return captured or []

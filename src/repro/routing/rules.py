@@ -32,6 +32,25 @@ from repro.telemetry.runtime import NULL_METRIC
 DEFAULT_OFFSET = 1
 
 
+@dataclass(frozen=True)
+class RuleAnnotation:
+    """Why a rule landed: the observer's measurement behind one commit.
+
+    Attached by :mod:`repro.obsv` when a rule is committed — ``reason`` is
+    a human-readable one-liner and ``measurement`` carries the skew-window
+    statistics (share, CV, Gini, max/mean) of the window that made the
+    balancer propose the rule. Annotations are metadata only: routing
+    (:meth:`RuleList.match`) never reads them, and :meth:`RuleList.compact`
+    leaves them untouched so the audit trail outlives dead memberships.
+    """
+
+    effective_time: float
+    offset: int
+    tenant: str
+    reason: str
+    measurement: dict
+
+
 @dataclass(frozen=True, order=True)
 class SecondaryHashingRule:
     """One committed secondary hashing rule ``(t, s, k_list)``.
@@ -71,6 +90,7 @@ class RuleList:
         self._rules: list[SecondaryHashingRule] = []
         self._by_key: dict[tuple[float, int], int] = {}
         self._by_tenant: dict[object, list[int]] = {}
+        self._annotations: dict[tuple[float, int, str], RuleAnnotation] = {}
         self._version = 0
         self._lookup_counter = NULL_METRIC
         self._hit_counter = NULL_METRIC
@@ -132,6 +152,36 @@ class RuleList:
     def update(self, effective_time: float, offset: int, tenant: object) -> SecondaryHashingRule:
         """Algorithm-2 entry point for a single tenant (``UpdateRuleList``)."""
         return self.insert(effective_time, offset, [tenant])
+
+    def annotate(
+        self,
+        effective_time: float,
+        offset: int,
+        tenant: object,
+        reason: str,
+        measurement: dict | None = None,
+    ) -> RuleAnnotation:
+        """Attach the triggering measurement to rule membership
+        ``(effective_time, offset, tenant)``; the latest annotation for a
+        membership wins."""
+        annotation = RuleAnnotation(
+            effective_time=effective_time,
+            offset=offset,
+            tenant=str(tenant),
+            reason=reason,
+            measurement=dict(measurement or {}),
+        )
+        self._annotations[(effective_time, offset, annotation.tenant)] = annotation
+        return annotation
+
+    def annotations(self) -> list[RuleAnnotation]:
+        """All annotations, ordered like the rule list (time, offset, tenant)."""
+        return [self._annotations[key] for key in sorted(self._annotations)]
+
+    def annotation_for(
+        self, effective_time: float, offset: int, tenant: object
+    ) -> RuleAnnotation | None:
+        return self._annotations.get((effective_time, offset, str(tenant)))
 
     def match(self, tenant_id: object, created_time: float) -> int:
         """Return the secondary-hashing offset ``s`` for a record.

@@ -2,11 +2,12 @@
 
 The JSON format round-trips (``parse_json_snapshot`` restores the snapshot
 dict), so a ``--profile out.json`` dump from one run can be diffed against
-another. The Prometheus format follows the text exposition conventions
-(``name{label="value"} value``, ``_bucket``/``_sum``/``_count`` for
-histograms with cumulative ``le`` buckets) closely enough for a real
-scraper, and :func:`parse_prometheus` reads the counter/gauge lines back
-for tests.
+another. The Prometheus format follows the text exposition conventions —
+one ``# HELP`` + ``# TYPE`` pair per metric name, ``name{label="value"}
+value`` samples with escaped label values, ``_bucket``/``_sum``/``_count``
+series with cumulative ``le`` buckets for histograms — closely enough for
+a real scraper, and :func:`parse_prometheus` reads the sample lines (and,
+on request, the HELP/TYPE metadata) back for round-trip tests.
 """
 
 from __future__ import annotations
@@ -31,10 +32,33 @@ def parse_json_snapshot(text: str) -> dict:
     return snapshot
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, double quote, newline."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    escaped = False
+    for char in value:
+        if escaped:
+            out.append({"n": "\n"}.get(char, char))
+            escaped = False
+        elif char == "\\":
+            escaped = True
+        else:
+            out.append(char)
+    return "".join(out)
+
+
 def _format_labels(labels: dict) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{key}="{value}"' for key, value in labels.items())
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"' for key, value in labels.items()
+    )
     return "{" + inner + "}"
 
 
@@ -45,45 +69,75 @@ def _merge_labels(labels: dict, **extra) -> dict:
 
 
 def to_prometheus(registry: MetricsRegistry) -> str:
-    """Render the registry in the Prometheus text exposition format."""
+    """Render the registry in the Prometheus text exposition format.
+
+    Metric names come out in sorted order, each introduced by exactly one
+    ``# HELP`` line (from :meth:`MetricsRegistry.set_help`, or a generated
+    default) and one ``# TYPE`` line, followed by every series under the
+    name. Histograms expand into cumulative ``_bucket`` series plus
+    ``_sum``/``_count``.
+    """
     snapshot = registry.snapshot()
+    entries_by_name: dict[str, tuple[str, list[dict]]] = {}
+    for kind_key, kind in (
+        ("counters", "counter"),
+        ("gauges", "gauge"),
+        ("histograms", "histogram"),
+    ):
+        for entry in snapshot[kind_key]:
+            entries_by_name.setdefault(entry["name"], (kind, []))[1].append(entry)
+    help_for = getattr(registry, "help_for", None)
     lines: list[str] = []
-    for entry in snapshot["counters"]:
-        lines.append(f"# TYPE {entry['name']} counter")
-        lines.append(f"{entry['name']}{_format_labels(entry['labels'])} {entry['value']:g}")
-    for entry in snapshot["gauges"]:
-        lines.append(f"# TYPE {entry['name']} gauge")
-        lines.append(f"{entry['name']}{_format_labels(entry['labels'])} {entry['value']:g}")
-    for entry in snapshot["histograms"]:
-        name = entry["name"]
-        labels = entry["labels"]
-        lines.append(f"# TYPE {name} histogram")
-        cumulative = 0
-        for bound, count in entry["buckets"]:
-            cumulative += count
-            le = "+Inf" if bound == "+Inf" else f"{bound:g}"
-            lines.append(
-                f"{name}_bucket{_format_labels(_merge_labels(labels, le=le))} {cumulative}"
-            )
-        lines.append(f"{name}_sum{_format_labels(labels)} {entry['sum']:g}")
-        lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+    for name in sorted(entries_by_name):
+        kind, entries = entries_by_name[name]
+        help_text = help_for(name) if help_for is not None else f"{name} ({kind})"
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in entries:
+            labels = entry["labels"]
+            if kind == "histogram":
+                cumulative = 0
+                for bound, count in entry["buckets"]:
+                    cumulative += count
+                    le = "+Inf" if bound == "+Inf" else f"{bound:g}"
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_format_labels(_merge_labels(labels, le=le))} {cumulative}"
+                    )
+                lines.append(f"{name}_sum{_format_labels(labels)} {entry['sum']:g}")
+                lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
+            else:
+                lines.append(f"{name}{_format_labels(labels)} {entry['value']:g}")
     return "\n".join(lines) + "\n"
 
 
-def parse_prometheus(text: str) -> dict:
-    """Parse counter/gauge/bucket sample lines back into a dict.
+def parse_prometheus(text: str, with_meta: bool = False) -> dict | tuple[dict, dict]:
+    """Parse sample lines back into ``{(name, labels): value}``.
 
-    Returns ``{(name, (("label", "value"), ...)): float}`` — enough for
-    round-trip tests; not a full exposition-format parser.
+    Labels come back as a sorted tuple of ``(key, value)`` pairs with
+    escape sequences resolved — enough for round-trip tests; not a full
+    exposition-format parser. With ``with_meta=True`` the return value is
+    ``(samples, meta)`` where ``meta`` maps each metric name to its parsed
+    ``{"help": ..., "type": ...}`` comment lines.
     """
     samples: dict[tuple, float] = {}
+    meta: dict[str, dict] = {}
     for line in text.splitlines():
         line = line.strip()
-        if not line or line.startswith("#"):
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                name = parts[2]
+                value = parts[3] if len(parts) > 3 else ""
+                meta.setdefault(name, {})[parts[1].lower()] = value
             continue
         metric_part, _, value_part = line.rpartition(" ")
         name, labels = _parse_metric(metric_part)
         samples[(name, labels)] = float(value_part)
+    if with_meta:
+        return samples, meta
     return samples
 
 
@@ -95,17 +149,28 @@ def _parse_metric(metric_part: str) -> tuple[str, tuple]:
     labels: list[tuple[str, str]] = []
     for piece in _split_label_pairs(body):
         key, _, raw = piece.partition("=")
-        labels.append((key, raw.strip('"')))
+        labels.append((key, _unescape_label_value(raw.strip('"'))))
     return name, tuple(sorted(labels))
 
 
 def _split_label_pairs(body: str) -> list[str]:
-    pairs, depth_quote, current = [], False, []
+    """Split ``k1="v1",k2="v2"`` on commas outside quotes, honouring
+    backslash escapes (so values may contain commas, quotes, spaces)."""
+    pairs: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
     for char in body:
-        if char == '"':
-            depth_quote = not depth_quote
+        if escaped:
             current.append(char)
-        elif char == "," and not depth_quote:
+            escaped = False
+        elif char == "\\" and in_quotes:
+            current.append(char)
+            escaped = True
+        elif char == '"':
+            in_quotes = not in_quotes
+            current.append(char)
+        elif char == "," and not in_quotes:
             pairs.append("".join(current))
             current = []
         else:

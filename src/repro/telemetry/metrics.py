@@ -202,6 +202,7 @@ class MetricsRegistry:
         self._kinds: dict[str, str] = {}
         self._series: dict[str, dict[tuple, Any]] = {}
         self._buckets: dict[str, tuple[float, ...]] = {}
+        self._help: dict[str, str] = {}
 
     # -- registration ------------------------------------------------------
     def _get(self, kind: str, name: str, labels: dict, factory) -> Any:
@@ -239,6 +240,19 @@ class MetricsRegistry:
         return self._get(
             "histogram", name, labels, lambda: Histogram(name, labels, buckets=chosen)
         )
+
+    def set_help(self, name: str, text: str) -> None:
+        """Attach a one-line description to metric *name* — emitted as the
+        ``# HELP`` line by the Prometheus exporter."""
+        self._help[name] = " ".join(str(text).split())
+
+    def help_for(self, name: str) -> str:
+        """The registered help text for *name*, or a generated default."""
+        text = self._help.get(name)
+        if text:
+            return text
+        kind = self._kinds.get(name, "metric")
+        return f"{name} ({kind})"
 
     # -- introspection -----------------------------------------------------
     def names(self) -> list[str]:

@@ -64,6 +64,12 @@ class NullRegistry:
     def histogram(self, name: str, buckets=None, **labels) -> NullMetric:
         return NULL_METRIC
 
+    def set_help(self, name: str, text: str) -> None:
+        pass
+
+    def help_for(self, name: str) -> str:
+        return ""
+
     def names(self) -> list:
         return []
 
@@ -118,6 +124,9 @@ class NullTracer:
 
     def last_trace(self) -> None:
         return None
+
+    def recent_traces(self, n: int | None = None) -> list:
+        return []
 
 
 NULL_REGISTRY = NullRegistry()

@@ -4,8 +4,11 @@ A :class:`Tracer` maintains a stack of open spans; ``tracer.span(name)``
 opens a child of whatever span is currently active, so a single write can
 be traced client → router → consensus → shard engine → replication without
 threading a context object through every call. Finished root spans are kept
-in a bounded deque for inspection (``ESDB.explain_analyze`` hands one back
-as its result).
+in a bounded ring buffer (:data:`MAX_FINISHED_TRACES` by default,
+configurable per tracer) so long-running processes never accumulate span
+trees — the slow log in :mod:`repro.obsv` references recent traces through
+:meth:`Tracer.recent_traces`, and ``ESDB.explain_analyze`` hands one back
+as its result.
 
 Spans are cheap (one object, two clock reads) but not free — the disabled
 mode in :mod:`repro.telemetry.runtime` replaces the tracer with a no-op
@@ -19,7 +22,7 @@ from collections import deque
 from typing import Any, Callable, Iterator
 
 #: Finished root spans retained per tracer (old traces are discarded).
-MAX_FINISHED_TRACES = 256
+MAX_FINISHED_TRACES = 128
 
 
 class Span:
@@ -128,10 +131,16 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.perf_counter,
+        max_finished: int = MAX_FINISHED_TRACES,
+    ) -> None:
+        if max_finished < 1:
+            raise ValueError("max_finished must be >= 1")
         self.clock = clock
         self._stack: list[Span] = []
-        self.finished: deque = deque(maxlen=MAX_FINISHED_TRACES)
+        self.finished: deque = deque(maxlen=max_finished)
 
     def span(self, name: str, **tags) -> _SpanContext:
         """Open a span named *name* as a child of the current span."""
@@ -145,3 +154,12 @@ class Tracer:
     def last_trace(self) -> Span | None:
         """The most recently finished root span."""
         return self.finished[-1] if self.finished else None
+
+    def recent_traces(self, n: int | None = None) -> list[Span]:
+        """The last *n* finished root spans, oldest first (all retained
+        traces when *n* is None). The retention cap bounds both memory and
+        the answer's length."""
+        spans = list(self.finished)
+        if n is None or n >= len(spans):
+            return spans
+        return spans[len(spans) - n:]

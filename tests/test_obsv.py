@@ -1,0 +1,314 @@
+"""Unit tests for repro.obsv: skew statistics, windows, alerts, slow logs,
+cat tables and configuration validation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obsv import (
+    Alert,
+    CatTable,
+    ObsvConfig,
+    Observer,
+    SkewWindow,
+    SlowLog,
+    annotation_reason,
+    coefficient_of_variation,
+    detect_alerts,
+    gini,
+    max_mean_ratio,
+    rule_measurement,
+    shard_heatmap,
+    summarize_windows,
+)
+from repro.telemetry import MetricsRegistry, Tracer
+
+
+class TestImbalanceStatistics:
+    """Hand-computed reference values for the three imbalance measures."""
+
+    def test_one_hot_shard_of_four(self):
+        # Loads [10, 0, 0, 0]: mean 2.5, population sd sqrt(18.75).
+        loads = [10.0, 0.0, 0.0, 0.0]
+        assert coefficient_of_variation(loads) == pytest.approx(math.sqrt(3.0))
+        assert gini(loads) == pytest.approx(0.75)
+        assert max_mean_ratio(loads) == pytest.approx(4.0)
+
+    def test_sixty_twenty_twenty_tenants(self):
+        loads = [60.0, 20.0, 20.0]
+        assert coefficient_of_variation(loads) == pytest.approx(math.sqrt(2.0) / 2.5)
+        assert gini(loads) == pytest.approx(4.0 / 15.0)
+        assert max_mean_ratio(loads) == pytest.approx(1.8)
+
+    def test_uniform_load_has_no_imbalance(self):
+        loads = [5.0, 5.0, 5.0, 5.0]
+        assert coefficient_of_variation(loads) == 0.0
+        assert gini(loads) == pytest.approx(0.0)
+        assert max_mean_ratio(loads) == pytest.approx(1.0)
+
+    def test_empty_and_zero_inputs_are_quiet(self):
+        for stat in (coefficient_of_variation, gini, max_mean_ratio):
+            assert stat([]) == 0.0
+            assert stat([0.0, 0.0]) == 0.0
+
+
+class TestSkewWindow:
+    def test_roll_computes_stats_over_all_shards(self):
+        window = SkewWindow(num_shards=4, window_seconds=10.0)
+        for _ in range(10):
+            window.record("hot", 0)
+        stats = window.roll(10.0)
+        # Shard loads [10, 0, 0, 0] including the idle shards.
+        assert stats.shard_cv == pytest.approx(math.sqrt(3.0))
+        assert stats.shard_gini == pytest.approx(0.75)
+        assert stats.shard_max_mean == pytest.approx(4.0)
+        assert stats.writes == 10
+        assert stats.shard_loads == ((0, 10),)
+
+    def test_tenant_stats_cover_observed_tenants_only(self):
+        window = SkewWindow(num_shards=8, window_seconds=10.0)
+        for tenant, count in (("a", 60), ("b", 20), ("c", 20)):
+            window.record(tenant, 0, count=count)
+        stats = window.roll(10.0)
+        assert stats.tenant_cv == pytest.approx(math.sqrt(2.0) / 2.5)
+        assert stats.tenant_gini == pytest.approx(4.0 / 15.0)
+        assert stats.tenant_max_mean == pytest.approx(1.8)
+        assert stats.tenant_loads[0] == ("a", 60)
+        assert stats.tenant_share("a") == pytest.approx(0.6)
+        assert stats.tenant_share("missing") == 0.0
+
+    def test_due_and_tumbling_boundaries(self):
+        window = SkewWindow(num_shards=2, window_seconds=5.0)
+        assert not window.due(4.9)
+        assert window.due(5.0)
+        window.record("t", 0)
+        first = window.roll(5.0)
+        assert (first.start, first.end) == (0.0, 5.0)
+        window.record("t", 1)
+        second = window.roll(10.0)
+        assert (second.start, second.end) == (5.0, 10.0)
+        assert window.last() is second
+        assert len(window.windows) == 2
+
+    def test_window_retention_bounded(self):
+        window = SkewWindow(num_shards=2, window_seconds=1.0, max_windows=3)
+        for i in range(10):
+            window.record("t", 0)
+            window.roll(float(i + 1))
+        assert len(window.windows) == 3
+        assert window.last().end == 10.0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            SkewWindow(num_shards=0)
+        with pytest.raises(ConfigurationError):
+            SkewWindow(num_shards=2, window_seconds=0.0)
+
+    def test_summarize_windows(self):
+        window = SkewWindow(num_shards=2, window_seconds=1.0)
+        assert summarize_windows(window.windows) == {"windows": 0}
+        window.record("a", 0, count=3)
+        window.roll(1.0)
+        summary = summarize_windows(window.windows)
+        assert summary["windows"] == 1
+        assert summary["total_writes"] == 3
+        assert summary["tenant_max_share_last"] == pytest.approx(1.0)
+
+
+class TestAlerts:
+    def _stats(self):
+        window = SkewWindow(num_shards=4, window_seconds=10.0)
+        for tenant, count in (("whale", 60), ("b", 20), ("c", 20)):
+            window.record(tenant, 0 if tenant == "whale" else 1, count=count)
+        return window.roll(10.0)
+
+    def test_hot_tenant_and_hot_shard_detection(self):
+        stats = self._stats()
+        alerts = detect_alerts(stats, hot_tenant_share=0.5, hot_shard_ratio=2.0)
+        kinds = {(a.kind, a.subject) for a in alerts}
+        assert ("hot_tenant", "whale") in kinds
+        assert ("hot_shard", "shard-0") in kinds
+        hot = next(a for a in alerts if a.kind == "hot_tenant")
+        assert hot.measurement["share"] == pytest.approx(0.6)
+        assert hot.measurement["tenant_cv"] == pytest.approx(math.sqrt(2.0) / 2.5)
+        assert hot.time == 10.0
+
+    def test_thresholds_gate_alerts(self):
+        stats = self._stats()
+        assert detect_alerts(stats, hot_tenant_share=0.7, hot_shard_ratio=10.0) == []
+        # share=0.2 catches all three tenants.
+        alerts = detect_alerts(stats, hot_tenant_share=0.2, hot_shard_ratio=10.0)
+        assert sorted(a.subject for a in alerts) == ["b", "c", "whale"]
+
+    def test_empty_window_raises_nothing(self):
+        window = SkewWindow(num_shards=2, window_seconds=1.0)
+        stats = window.roll(1.0)
+        assert detect_alerts(stats, hot_tenant_share=0.1, hot_shard_ratio=1.0) == []
+
+    def test_alert_round_trips_and_describes(self):
+        stats = self._stats()
+        alert = detect_alerts(stats, hot_tenant_share=0.5, hot_shard_ratio=100.0)[0]
+        assert isinstance(alert, Alert)
+        payload = alert.to_dict()
+        assert payload["kind"] == "hot_tenant"
+        assert payload["subject"] == "whale"
+        assert "whale" in alert.describe()
+
+    def test_rule_measurement_and_annotation_reason(self):
+        stats = self._stats()
+        measurement = rule_measurement(stats, "whale")
+        assert measurement["share"] == pytest.approx(0.6)
+        assert measurement["window_start"] == 0.0
+        assert measurement["window_end"] == 10.0
+        reason = annotation_reason("whale", 4, measurement)
+        assert "whale" in reason
+        assert "60.0%" in reason
+        assert "offset 4" in reason
+        assert rule_measurement(stats, "never-seen") is None
+        assert rule_measurement(None, "whale") is None
+        assert "no window measurement" in annotation_reason("t", 2, None)
+
+
+class TestSlowLog:
+    def test_levels_follow_thresholds(self):
+        log = SlowLog("index", warn_seconds=0.1, info_seconds=0.01)
+        assert log.level_for(0.005) is None
+        assert log.level_for(0.01) == "info"
+        assert log.level_for(0.1) == "warn"
+        assert log.record(time=1.0, elapsed=0.005) is None
+        entry = log.record(time=1.0, elapsed=0.2, tenant="t1", shard=3, detail="x")
+        assert entry.level == "warn"
+        assert log.counts == {"warn": 1, "info": 0}
+
+    def test_ring_buffer_keeps_monotone_counts(self):
+        log = SlowLog("search", warn_seconds=1.0, info_seconds=0.0, capacity=5)
+        for i in range(20):
+            log.record(time=float(i), elapsed=0.5, detail=f"q{i}")
+        assert len(log) == 5
+        assert log.counts["info"] == 20
+        assert [e.detail for e in log.tail(3)] == ["q17", "q18", "q19"]
+        assert "20 info" in log.summary_line()
+        assert "retained 5" in log.summary_line()
+
+    def test_slowest_and_trace_attachment(self):
+        tracer = Tracer()
+        with tracer.span("write") as span:
+            with tracer.span("write.index"):
+                pass
+        log = SlowLog("index", warn_seconds=10.0, info_seconds=0.0)
+        log.record(time=0.0, elapsed=0.002, trace=span)
+        log.record(time=1.0, elapsed=0.009, tenant="t9")
+        slowest = log.slowest()
+        assert slowest.elapsed == 0.009
+        first = log.tail()[0]
+        assert first.trace is span
+        assert first.to_dict()["trace"]["children"][0]["name"] == "write.index"
+
+    def test_detail_clipped(self):
+        log = SlowLog("search", warn_seconds=0.0, info_seconds=0.0)
+        entry = log.record(time=0.0, elapsed=1.0, detail="x" * 1000)
+        assert len(entry.detail) == 160
+
+    def test_threshold_validation(self):
+        with pytest.raises(ConfigurationError):
+            SlowLog("index", warn_seconds=0.01, info_seconds=0.1)
+        with pytest.raises(ConfigurationError):
+            SlowLog("index", warn_seconds=1.0, info_seconds=0.1, capacity=0)
+
+
+class TestObserver:
+    def test_auto_roll_aligns_with_window_and_counts_alert_metrics(self):
+        registry = MetricsRegistry()
+        observer = Observer(
+            ObsvConfig(hot_tenant_share=0.5, index_info_seconds=0.0),
+            num_shards=4,
+            metrics=registry,
+            window_seconds=10.0,
+        )
+        for _ in range(10):
+            observer.record_write("hot", 0, elapsed=0.001, now=1.0)
+        # Crossing the boundary rolls the open window first.
+        observer.record_write("hot", 0, elapsed=0.001, now=10.0)
+        assert len(observer.skew.windows) == 1
+        assert observer.skew.current_writes == 1
+        alerts = observer.recent_alerts()
+        assert [a.kind for a in alerts] == ["hot_tenant", "hot_shard"]
+        assert registry.value("obsv_alerts_total", kind="hot_tenant") == 1.0
+        assert registry.value(
+            "obsv_slowlog_entries_total", log="index", level="info"
+        ) == 11.0
+
+    def test_snapshot_shape(self):
+        observer = Observer(ObsvConfig(index_info_seconds=0.0), num_shards=2)
+        observer.record_write("t", 0, elapsed=0.5, now=1.0)
+        observer.record_search("t", elapsed=0.9, now=2.0, detail="SELECT 1")
+        observer.roll(10.0)
+        snapshot = observer.snapshot()
+        assert snapshot["skew"]["summary"]["windows"] == 1
+        assert snapshot["slowlog"]["counts"]["index"] == {"warn": 1, "info": 0}
+        assert snapshot["slowlog"]["search"][0]["detail"] == "SELECT 1"
+        assert isinstance(snapshot["alerts"], list)
+
+
+class TestObsvConfig:
+    def test_off_disables(self):
+        assert ObsvConfig.off().enabled is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(slowlog_capacity=0)
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(index_warn_seconds=0.001, index_info_seconds=0.01)
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(search_warn_seconds=0.001, search_info_seconds=0.01)
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(window_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(hot_tenant_share=0.0)
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(hot_shard_ratio=0.5)
+        with pytest.raises(ConfigurationError):
+            ObsvConfig(top_k=0)
+
+
+class TestCatTable:
+    def test_render_aligns_and_right_justifies_numbers(self):
+        table = CatTable(
+            "demo",
+            ("name", "count"),
+            [("alpha", 1), ("b", 2000)],
+        )
+        lines = table.render().splitlines()
+        assert lines[0].split() == ["name", "count"]
+        # Numeric column right-aligned under its header.
+        assert lines[1].endswith("    1")
+        assert lines[2].endswith("2000")
+        assert table.to_dicts() == [
+            {"name": "alpha", "count": 1},
+            {"name": "b", "count": 2000},
+        ]
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            CatTable("demo", ("a", "b"), [("only-one",)])
+
+
+class TestShardHeatmap:
+    def test_scales_to_peak_and_wraps(self):
+        counts = {i: 0 for i in range(70)}
+        counts[0] = 100
+        counts[69] = 50
+        text = shard_heatmap(counts)
+        lines = text.splitlines()
+        assert len(lines) == 3  # 64 + 6 shards, plus the scale line
+        assert lines[0].startswith("  [   0] |@")
+        assert "scale:" in lines[-1]
+        # A nonzero shard never renders as the zero character.
+        row = lines[1]
+        assert row.rstrip("|")[-1] != " "
+
+    def test_empty(self):
+        assert shard_heatmap({}) == "(no shards)"

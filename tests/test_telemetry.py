@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 
@@ -186,6 +187,49 @@ class TestTracing:
         assert payload["tags"] == {"tenant": "t1"}
         assert payload["children"][0]["name"] == "b"
 
+    def test_finished_traces_ring_buffer(self):
+        tracer = Tracer(max_finished=4)
+        for i in range(10):
+            with tracer.span(f"op{i}"):
+                pass
+        assert len(tracer.finished) == 4
+        assert [s.name for s in tracer.recent_traces()] == [
+            "op6",
+            "op7",
+            "op8",
+            "op9",
+        ]
+        assert [s.name for s in tracer.recent_traces(2)] == ["op8", "op9"]
+        assert tracer.recent_traces(100) == list(tracer.finished)
+        with pytest.raises(ValueError):
+            Tracer(max_finished=0)
+
+    def test_traced_write_memory_bounded_across_10k_writes(self):
+        """Regression guard for span retention: 10k traced facade writes
+        create ~30k spans, but the tracer's ring buffer must keep the live
+        span population bounded (last 128 roots), not growing with the
+        write count."""
+        from repro.cluster import ClusterTopology
+        from repro.esdb import EsdbConfig
+        from repro.telemetry import Span
+
+        gc.collect()
+        before = sum(isinstance(obj, Span) for obj in gc.get_objects())
+        db = ESDB(
+            EsdbConfig(
+                topology=ClusterTopology(num_nodes=2, num_shards=4),
+                auto_refresh_every=None,
+            )
+        )
+        for i in range(10_000):
+            db.write(make_log(i, tenant=f"t{i % 7}", created=float(i) * 0.001))
+        assert len(db.telemetry.tracer.finished) == 128
+        gc.collect()
+        after = sum(isinstance(obj, Span) for obj in gc.get_objects())
+        # 128 retained write traces of ~3 spans each, plus slack for
+        # whatever else the instance holds — nowhere near the 30k created.
+        assert after - before < 2_000
+
 
 class TestExporters:
     def _populated_registry(self) -> MetricsRegistry:
@@ -218,6 +262,49 @@ class TestExporters:
         assert samples[("latency_bucket", (("le", "+Inf"),))] == 3.0
         assert samples[("latency_count", ())] == 3.0
         assert samples[("latency_sum", ())] == pytest.approx(5.55)
+
+    def test_prometheus_help_and_type_once_per_name(self):
+        registry = self._populated_registry()
+        registry.set_help("writes_total", "Total writes routed")
+        text = to_prometheus(registry)
+        # Exactly one HELP/TYPE pair per metric name, even with two series.
+        assert text.count("# HELP writes_total Total writes routed") == 1
+        assert text.count("# TYPE writes_total counter") == 1
+        assert text.count("# TYPE queue_depth gauge") == 1
+        assert text.count("# TYPE latency histogram") == 1
+        samples, meta = parse_prometheus(text, with_meta=True)
+        assert meta["writes_total"] == {
+            "help": "Total writes routed",
+            "type": "counter",
+        }
+        assert meta["latency"]["type"] == "histogram"
+        # Un-registered help falls back to a generated default.
+        assert meta["queue_depth"]["help"]
+        # The sample lines are unchanged by the comment lines.
+        assert samples[("writes_total", (("shard", "0"),))] == 10.0
+
+    def test_prometheus_labels_with_spaces_commas_quotes_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "ops_total",
+            detail='has "quotes", commas, and spaces',
+            path="a\\b\nnewline",
+        ).inc(2)
+        text = to_prometheus(registry)
+        samples = parse_prometheus(text)
+        labels = (
+            ("detail", 'has "quotes", commas, and spaces'),
+            ("path", "a\\b\nnewline"),
+        )
+        assert samples[("ops_total", labels)] == 2.0
+
+    def test_set_help_round_trip_and_normalization(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.set_help("c", "multi\nline   help")
+        assert registry.help_for("c") == "multi line help"
+        _, meta = parse_prometheus(to_prometheus(registry), with_meta=True)
+        assert meta["c"]["help"] == "multi line help"
 
     def test_profile_dump_contains_metrics_and_traces(self):
         registry = self._populated_registry()
