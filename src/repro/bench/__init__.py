@@ -1,0 +1,55 @@
+"""repro.bench — the continuous benchmark suite with regression detection.
+
+The performance-history counterpart to :mod:`repro.telemetry.timeseries`:
+where the time-series store tracks one *live instance* over its run, this
+package tracks the *codebase* over its PRs. Registered scenarios span the
+write path (every routing policy under Zipf skew), the query path (cold
+vs. warm caches, optimizer on/off), storage micro-operations (index /
+flush / merge) and the write simulator; each emits throughput and
+p50/p95/p99 through the shared telemetry quantile math into a
+schema-versioned, env-stamped ``BENCH_RESULTS.json``.
+
+``python -m repro.bench --compare BENCH_BASELINE.json`` flags any metric
+that moved the wrong way beyond a tolerance and exits non-zero — the gate
+every future "made X faster" PR proves its claim against.
+"""
+
+from repro.bench.compare import ComparisonReport, MetricDelta, compare_results
+from repro.bench.harness import (
+    FAMILIES,
+    SCHEMA_VERSION,
+    BenchScenario,
+    Metric,
+    ScenarioResult,
+    env_stamp,
+    families_covered,
+    get,
+    latency_metrics,
+    registered,
+    render_results,
+    run_scenarios,
+    scenario,
+    time_ops,
+    validate_results,
+)
+
+__all__ = [
+    "BenchScenario",
+    "ComparisonReport",
+    "FAMILIES",
+    "Metric",
+    "MetricDelta",
+    "SCHEMA_VERSION",
+    "ScenarioResult",
+    "compare_results",
+    "env_stamp",
+    "families_covered",
+    "get",
+    "latency_metrics",
+    "registered",
+    "render_results",
+    "run_scenarios",
+    "scenario",
+    "time_ops",
+    "validate_results",
+]

@@ -1,0 +1,127 @@
+"""``python -m repro.bench`` — run the continuous benchmark suite.
+
+Examples::
+
+    python -m repro.bench --list
+    python -m repro.bench --quick
+    python -m repro.bench write.routing.dynamic query.cache.warm
+    python -m repro.bench --quick --compare BENCH_BASELINE.json
+    python -m repro.bench --update-baseline
+
+Results always land in a schema-versioned, env-stamped JSON file
+(``--out``, default ``BENCH_RESULTS.json``). ``--compare`` diffs the run
+against a baseline payload and exits non-zero when any metric regresses
+beyond ``--tolerance`` — unless ``--report-only`` turns regressions into
+annotations (the CI smoke mode, where machine noise must not fail the
+build). ``--update-baseline`` additionally writes the run as the new
+``BENCH_BASELINE.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.compare import compare_results
+from repro.bench.harness import (
+    get,
+    registered,
+    render_results,
+    run_scenarios,
+    validate_results,
+)
+from repro.errors import ConfigurationError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run registered performance scenarios and track regressions.",
+    )
+    parser.add_argument(
+        "scenarios", nargs="*",
+        help="scenario names to run (default: all; see --list)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced iteration counts (CI smoke / tests); flagged in the output",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_RESULTS.json",
+        help="results file to write (default: BENCH_RESULTS.json)",
+    )
+    parser.add_argument(
+        "--compare", metavar="BASELINE_JSON", default=None,
+        help="compare against a baseline payload; exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative regression tolerance for --compare (default: 0.25)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="with --compare: print regressions but always exit 0",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="also write this run's results to --baseline-out",
+    )
+    parser.add_argument(
+        "--baseline-out", default="BENCH_BASELINE.json",
+        help="baseline file for --update-baseline (default: BENCH_BASELINE.json)",
+    )
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        for name in registered():
+            bench = get(name)
+            print(f"{name:<28} [{bench.family}] {bench.description}")
+        return 0
+    if args.tolerance < 0:
+        print("--tolerance must be >= 0", file=sys.stderr)
+        return 2
+    try:
+        names = args.scenarios or None
+        if names:
+            for name in names:
+                get(name)  # fail fast on typos, before any scenario runs
+        payload = run_scenarios(names=names, quick=args.quick, progress=print)
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        return 2
+    errors = validate_results(payload)
+    if errors:  # should be impossible; guards the schema contract in CI
+        for problem in errors:
+            print(f"schema error: {problem}", file=sys.stderr)
+        return 2
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(render_results(payload))
+    print(f"results written to {args.out}")
+    if args.update_baseline:
+        with open(args.baseline_out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"baseline updated: {args.baseline_out}")
+    if args.compare is not None:
+        try:
+            with open(args.compare) as handle:
+                baseline = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read baseline {args.compare}: {error}", file=sys.stderr)
+            return 2
+        report = compare_results(payload, baseline, tolerance=args.tolerance)
+        print(report.render())
+        if not report.ok and not args.report_only:
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,129 @@
+"""Baseline comparison and regression detection.
+
+``compare_results(current, baseline, tolerance)`` walks every metric the
+two payloads share and classifies it using the metric's declared
+*direction*: a ``higher``-is-better metric regresses when it falls more
+than *tolerance* (relative) below the baseline; a ``lower``-is-better one
+regresses when it rises more than *tolerance* above it. Improvements are
+flagged symmetrically so a PR can cite its headline win from the same
+report that guards against losses. Scenarios present on only one side are
+reported but never fail the comparison (suites grow; baselines lag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across the two payloads."""
+
+    scenario: str
+    metric: str
+    direction: str
+    baseline: float
+    current: float
+    change: float | None  # signed relative change, None when baseline == 0
+    regression: bool
+    improvement: bool
+
+    def describe(self) -> str:
+        change = f"{self.change:+.1%}" if self.change is not None else "n/a"
+        flag = "REGRESSION" if self.regression else (
+            "improved" if self.improvement else "ok"
+        )
+        return (
+            f"{self.scenario}.{self.metric} [{self.direction}] "
+            f"{self.baseline:.3f} -> {self.current:.3f} ({change}) {flag}"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    tolerance: float
+    deltas: list[MetricDelta]
+    missing_scenarios: list[str]  # in baseline, absent from current
+    new_scenarios: list[str]  # in current, absent from baseline
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regression]
+
+    @property
+    def improvements(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.improvement]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        lines = [
+            f"bench comparison: {len(self.deltas)} metrics @ tolerance "
+            f"{self.tolerance:.0%} -> {len(self.regressions)} regression(s), "
+            f"{len(self.improvements)} improvement(s)"
+        ]
+        for delta in self.regressions:
+            lines.append(f"  !! {delta.describe()}")
+        for delta in self.improvements:
+            lines.append(f"  ++ {delta.describe()}")
+        if self.missing_scenarios:
+            lines.append(
+                "  baseline-only scenarios (not compared): "
+                + ", ".join(self.missing_scenarios)
+            )
+        if self.new_scenarios:
+            lines.append(
+                "  new scenarios (no baseline yet): " + ", ".join(self.new_scenarios)
+            )
+        if self.ok:
+            lines.append("  no regressions beyond tolerance")
+        return "\n".join(lines)
+
+
+def _classify(direction: str, baseline: float, current: float,
+              tolerance: float) -> tuple[float | None, bool, bool]:
+    """(relative change, regression?, improvement?) for one metric pair."""
+    if baseline == 0.0:
+        # No relative scale: a zero baseline can flag nothing reliably.
+        return None, False, False
+    change = (current - baseline) / abs(baseline)
+    worse = -change if direction == "higher" else change
+    return change, worse > tolerance, worse < -tolerance
+
+
+def compare_results(current: dict, baseline: dict,
+                    tolerance: float = 0.25) -> ComparisonReport:
+    """Compare two results payloads; see the module docstring for rules."""
+    current_scenarios = current.get("scenarios", {})
+    baseline_scenarios = baseline.get("scenarios", {})
+    deltas: list[MetricDelta] = []
+    for name in sorted(set(current_scenarios) & set(baseline_scenarios)):
+        current_metrics = current_scenarios[name].get("metrics", {})
+        baseline_metrics = baseline_scenarios[name].get("metrics", {})
+        for metric_name in sorted(set(current_metrics) & set(baseline_metrics)):
+            cur = current_metrics[metric_name]
+            base = baseline_metrics[metric_name]
+            direction = cur.get("direction", base.get("direction", "lower"))
+            change, regression, improvement = _classify(
+                direction, float(base["value"]), float(cur["value"]), tolerance
+            )
+            deltas.append(
+                MetricDelta(
+                    scenario=name,
+                    metric=metric_name,
+                    direction=direction,
+                    baseline=float(base["value"]),
+                    current=float(cur["value"]),
+                    change=change,
+                    regression=regression,
+                    improvement=improvement,
+                )
+            )
+    return ComparisonReport(
+        tolerance=tolerance,
+        deltas=deltas,
+        missing_scenarios=sorted(set(baseline_scenarios) - set(current_scenarios)),
+        new_scenarios=sorted(set(current_scenarios) - set(baseline_scenarios)),
+    )

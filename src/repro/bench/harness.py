@@ -1,0 +1,263 @@
+"""The benchmark harness: scenario registry, timing loop, result schema.
+
+A *scenario* is a named, registered callable that exercises one hot path
+(a routing policy under Zipf skew, a query shape against cold or warm
+caches, a storage micro-operation, a simulator run) and returns a set of
+:class:`Metric` values — throughput plus p50/p95/p99 latency, each tagged
+with a unit and a *direction* (``higher`` or ``lower`` is better), so the
+comparator never has to guess which way a number should move.
+
+``run_scenarios`` executes a selection and assembles the machine-readable
+payload written to ``BENCH_RESULTS.json``: schema-versioned, env-stamped
+(python / platform / cpu count), with a ``quick`` flag so a reduced CI run
+is never mistaken for a full baseline. ``validate_results`` checks the
+schema; :mod:`repro.bench.compare` diffs two payloads.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import ConfigurationError
+from repro.telemetry.metrics import summarize
+
+#: Bumped whenever the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: The scenario families the suite must span (acceptance floor).
+FAMILIES = ("write", "query", "storage", "sim")
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One measured number with its unit and improvement direction."""
+
+    value: float
+    unit: str
+    direction: str  # "higher" or "lower" is better
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("higher", "lower"):
+            raise ConfigurationError(
+                f"metric direction must be 'higher' or 'lower', got {self.direction!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"value": self.value, "unit": self.unit, "direction": self.direction}
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """What a scenario function returns: metrics plus free-form meta."""
+
+    metrics: dict[str, Metric]
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    name: str
+    family: str
+    description: str
+    func: Callable[[bool], ScenarioResult]  # quick -> result
+
+
+_SCENARIOS: dict[str, BenchScenario] = {}
+
+
+def scenario(name: str, family: str, description: str = ""):
+    """Decorator: register ``func(quick: bool) -> ScenarioResult``."""
+    if family not in FAMILIES:
+        raise ConfigurationError(
+            f"unknown scenario family {family!r}; expected one of {FAMILIES}"
+        )
+
+    def register(func):
+        if name in _SCENARIOS:
+            raise ConfigurationError(f"bench scenario {name!r} already registered")
+        _SCENARIOS[name] = BenchScenario(name, family, description, func)
+        return func
+
+    return register
+
+
+def registered() -> list[str]:
+    """All registered scenario names, sorted."""
+    _ensure_loaded()
+    return sorted(_SCENARIOS)
+
+
+def get(name: str) -> BenchScenario:
+    _ensure_loaded()
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown bench scenario {name!r}; known: {', '.join(sorted(_SCENARIOS))}"
+        ) from None
+
+
+def _ensure_loaded() -> None:
+    """Import the scenario definitions exactly once (registration side
+    effect); keeps ``import repro.bench`` cheap until a run is requested."""
+    from repro.bench import scenarios  # noqa: F401  (registers on import)
+
+
+# -- timing helpers -----------------------------------------------------------
+
+
+def time_ops(op: Callable[[int], object], count: int) -> list[float]:
+    """Run ``op(i)`` *count* times; return per-op wall durations (seconds)."""
+    durations = []
+    for i in range(count):
+        start = time.perf_counter()
+        op(i)
+        durations.append(time.perf_counter() - start)
+    return durations
+
+
+def latency_metrics(durations: Iterable[float]) -> dict[str, Metric]:
+    """The standard throughput + quantile metric set from raw durations.
+
+    Quantiles go through :func:`repro.telemetry.summarize`, i.e. the same
+    bucket-interpolation math as live telemetry histograms.
+    """
+    durations = list(durations)
+    total = sum(durations)
+    summary = summarize(durations)
+    return {
+        "throughput_ops_s": Metric(
+            len(durations) / total if total > 0 else 0.0, "ops/s", "higher"
+        ),
+        "p50_ms": Metric(summary["p50"] * 1e3, "ms", "lower"),
+        "p95_ms": Metric(summary["p95"] * 1e3, "ms", "lower"),
+        "p99_ms": Metric(summary["p99"] * 1e3, "ms", "lower"),
+        "mean_ms": Metric(summary["mean"] * 1e3, "ms", "lower"),
+    }
+
+
+# -- running ------------------------------------------------------------------
+
+
+def env_stamp() -> dict:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count() or 1,
+        "argv": " ".join(sys.argv[:1]),
+    }
+
+
+def run_scenarios(
+    names: Iterable[str] | None = None,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run the named scenarios (default: all) and return the results payload."""
+    _ensure_loaded()
+    selected = list(names) if names is not None else registered()
+    payload: dict = {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "repro.bench",
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime()),
+        "env": env_stamp(),
+        "scenarios": {},
+    }
+    for name in selected:
+        bench = get(name)
+        if progress is not None:
+            progress(f"running {bench.name} [{bench.family}] ...")
+        start = time.perf_counter()
+        result = bench.func(quick)
+        elapsed = time.perf_counter() - start
+        payload["scenarios"][bench.name] = {
+            "family": bench.family,
+            "description": bench.description,
+            "elapsed_s": elapsed,
+            "metrics": {
+                metric_name: metric.to_dict()
+                for metric_name, metric in sorted(result.metrics.items())
+            },
+            "meta": result.meta,
+        }
+    return payload
+
+
+def validate_results(payload: dict) -> list[str]:
+    """Schema check; returns a list of problems (empty = valid)."""
+    errors: list[str] = []
+    if not isinstance(payload, dict):
+        return ["payload is not an object"]
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        errors.append(f"schema_version is {version!r}, expected {SCHEMA_VERSION}")
+    if not isinstance(payload.get("env"), dict) or "python" not in payload.get("env", {}):
+        errors.append("missing env stamp (env.python)")
+    if "quick" not in payload:
+        errors.append("missing quick flag")
+    scenarios_obj = payload.get("scenarios")
+    if not isinstance(scenarios_obj, dict) or not scenarios_obj:
+        errors.append("scenarios section missing or empty")
+        return errors
+    for name, entry in scenarios_obj.items():
+        if not isinstance(entry, dict):
+            errors.append(f"scenario {name!r} is not an object")
+            continue
+        if entry.get("family") not in FAMILIES:
+            errors.append(f"scenario {name!r} has unknown family {entry.get('family')!r}")
+        metrics = entry.get("metrics")
+        if not isinstance(metrics, dict) or not metrics:
+            errors.append(f"scenario {name!r} has no metrics")
+            continue
+        for metric_name, metric in metrics.items():
+            if not isinstance(metric, dict):
+                errors.append(f"{name}.{metric_name} is not an object")
+                continue
+            if not isinstance(metric.get("value"), (int, float)):
+                errors.append(f"{name}.{metric_name} has non-numeric value")
+            if metric.get("direction") not in ("higher", "lower"):
+                errors.append(
+                    f"{name}.{metric_name} has invalid direction "
+                    f"{metric.get('direction')!r}"
+                )
+    return errors
+
+
+def families_covered(payload: dict) -> set[str]:
+    """The scenario families present in a results payload."""
+    return {
+        entry.get("family")
+        for entry in payload.get("scenarios", {}).values()
+        if isinstance(entry, dict)
+    }
+
+
+def render_results(payload: dict) -> str:
+    """Human-readable table of a results payload."""
+    lines = [
+        f"repro.bench results (schema v{payload.get('schema_version')}, "
+        f"{'quick' if payload.get('quick') else 'full'}, "
+        f"python {payload.get('env', {}).get('python', '?')})"
+    ]
+    for name in sorted(payload.get("scenarios", {})):
+        entry = payload["scenarios"][name]
+        metrics = entry.get("metrics", {})
+        parts = []
+        for metric_name in ("throughput_ops_s", "p50_ms", "p99_ms"):
+            metric = metrics.get(metric_name)
+            if metric is not None:
+                parts.append(f"{metric_name}={metric['value']:.3f}")
+        if not parts:  # scenario with non-standard metrics: show them all
+            parts = [f"{k}={v['value']:.3f}" for k, v in sorted(metrics.items())]
+        lines.append(
+            f"  {name:<28} [{entry.get('family', '?'):<7}] "
+            f"{' '.join(parts)} ({entry.get('elapsed_s', 0.0):.2f}s)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,320 @@
+"""The registered benchmark scenarios.
+
+Four families, mirroring the paper's evaluation axes:
+
+* ``write.*`` — the facade write path under Zipf skew, one scenario per
+  routing policy (Figs 10–13: the policies are the paper's headline
+  comparison);
+* ``query.*`` — end-to-end SQL through parse → plan → fan-out →
+  aggregate, cold vs. warm caches and optimizer on vs. off (Figs 16–17);
+* ``storage.*`` — shard-engine micro-operations: buffer indexing, flush
+  (refresh + translog checkpoint), and segment merging (§3.3);
+* ``sim.*`` — the fluid-flow write simulation; its *model* outputs
+  (throughput, delay) are bit-deterministic, so they double as exact
+  regression tripwires on top of the wall-clock tick rate.
+
+Every scenario accepts ``quick`` (reduced iteration counts for CI smoke
+runs and tests) and returns the standard throughput + p50/p95/p99 metric
+set from :func:`repro.bench.harness.latency_metrics`.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.bench.harness import (
+    Metric,
+    ScenarioResult,
+    latency_metrics,
+    scenario,
+    time_ops,
+)
+
+#: Hot tenant pinned into every ingest so tenant-scoped queries hit data.
+HOT_TENANT = "bench-hot"
+
+
+def _bench_db(cache=None, optimizer_enabled: bool = True):
+    """A small, fully wired ESDB instance for benchmarking."""
+    from repro.cluster import ClusterTopology
+    from repro.esdb import ESDB, EsdbConfig
+
+    config = EsdbConfig(
+        topology=ClusterTopology(num_nodes=2, num_shards=8, replicas_per_shard=0),
+        optimizer_enabled=optimizer_enabled,
+        consensus_interval=1.0,
+        **({"cache": cache} if cache is not None else {}),
+    )
+    return ESDB(config)
+
+
+def _generator(seed: int = 0):
+    from repro.workload.generator import TransactionLogGenerator, WorkloadConfig
+
+    return TransactionLogGenerator(WorkloadConfig(num_tenants=1_000, seed=seed))
+
+
+def _documents(count: int, seed: int = 0, hot_every: int = 3) -> list[dict]:
+    """Zipf-skewed documents with every *hot_every*-th write pinned to the
+    bench hot tenant (guarantees a hotspot and query hits)."""
+    generator = _generator(seed)
+    docs = []
+    for i in range(count):
+        tenant = HOT_TENANT if i % hot_every == 0 else None
+        docs.append(generator.generate(created_time=i * 0.02, tenant_id=tenant))
+    return docs
+
+
+# -- write family -------------------------------------------------------------
+
+
+def _write_scenario(policy_factory, quick: bool, rebalance: bool = False) -> ScenarioResult:
+    from repro.esdb import ESDB, EsdbConfig
+    from repro.cluster import ClusterTopology
+
+    count = 300 if quick else 1500
+    docs = _documents(count)
+    db = ESDB(
+        EsdbConfig(
+            topology=ClusterTopology(num_nodes=2, num_shards=8, replicas_per_shard=0),
+            consensus_interval=1.0,
+        ),
+        policy=policy_factory(8),
+    )
+
+    def op(i: int) -> None:
+        db.write(docs[i])
+
+    durations = []
+    for start in range(0, count, 100):
+        durations.extend(time_ops(lambda i, base=start: op(base + i),
+                                  min(100, count - start)))
+        if rebalance:
+            db.rebalance()
+    metrics = latency_metrics(durations)
+    return ScenarioResult(
+        metrics,
+        meta={"writes": count, "shards": 8, "policy": db.policy.name},
+    )
+
+
+@scenario("write.routing.hash", "write",
+          "facade write path, single-hash routing, Zipf-skewed tenants")
+def write_hash(quick: bool) -> ScenarioResult:
+    from repro.routing import HashRouting
+
+    return _write_scenario(HashRouting, quick)
+
+
+@scenario("write.routing.double", "write",
+          "facade write path, double-hash routing (static offset spread)")
+def write_double(quick: bool) -> ScenarioResult:
+    from repro.routing import DoubleHashRouting
+
+    return _write_scenario(lambda n: DoubleHashRouting(n, offset=4), quick)
+
+
+@scenario("write.routing.dynamic", "write",
+          "facade write path, dynamic secondary hashing with balance rounds")
+def write_dynamic(quick: bool) -> ScenarioResult:
+    from repro.routing import DynamicSecondaryHashRouting
+
+    return _write_scenario(DynamicSecondaryHashRouting, quick, rebalance=True)
+
+
+# -- query family -------------------------------------------------------------
+
+_QUERY_SET = (
+    f"SELECT * FROM transaction_logs WHERE tenant_id = '{HOT_TENANT}' LIMIT 10",
+    f"SELECT status, COUNT(*) FROM transaction_logs "
+    f"WHERE tenant_id = '{HOT_TENANT}' GROUP BY status",
+    f"SELECT * FROM transaction_logs WHERE tenant_id = '{HOT_TENANT}' "
+    f"AND status = 1 ORDER BY created_time DESC LIMIT 5",
+    "SELECT COUNT(*) FROM transaction_logs WHERE quantity >= 5",
+    "SELECT * FROM transaction_logs WHERE amount <= 500 AND quantity <= 3 LIMIT 20",
+)
+
+
+def _query_scenario(cache, optimizer_enabled: bool, quick: bool,
+                    warm: bool) -> ScenarioResult:
+    count = 240 if quick else 1000
+    rounds = 3 if quick else 8
+    db = _bench_db(cache=cache, optimizer_enabled=optimizer_enabled)
+    for doc in _documents(count, seed=1):
+        db.write(doc)
+    db.refresh()
+    if warm:
+        for sql in _QUERY_SET:  # priming round fills all cache levels
+            db.execute_sql(sql)
+    statements = [sql for _ in range(rounds) for sql in _QUERY_SET]
+
+    durations = time_ops(lambda i: db.execute_sql(statements[i]), len(statements))
+    metrics = latency_metrics(durations)
+    hits = db.telemetry.metrics.total("cache_hits_total")
+    misses = db.telemetry.metrics.total("cache_misses_total")
+    return ScenarioResult(
+        metrics,
+        meta={
+            "docs": count,
+            "queries": len(statements),
+            "cache_hits": int(hits),
+            "cache_misses": int(misses),
+        },
+    )
+
+
+@scenario("query.cache.cold", "query",
+          "SQL query set with every cache level disabled (cold baseline)")
+def query_cold(quick: bool) -> ScenarioResult:
+    from repro.cache import CacheConfig
+
+    return _query_scenario(CacheConfig.off(), True, quick, warm=False)
+
+
+@scenario("query.cache.warm", "query",
+          "SQL query set against warmed filter/request/result caches")
+def query_warm(quick: bool) -> ScenarioResult:
+    return _query_scenario(None, True, quick, warm=True)
+
+
+@scenario("query.optimizer.on", "query",
+          "SQL query set with the rule-based optimizer, caches off")
+def query_optimizer_on(quick: bool) -> ScenarioResult:
+    from repro.cache import CacheConfig
+
+    return _query_scenario(CacheConfig.off(), True, quick, warm=False)
+
+
+@scenario("query.optimizer.off", "query",
+          "SQL query set without the optimizer (naive plans), caches off")
+def query_optimizer_off(quick: bool) -> ScenarioResult:
+    from repro.cache import CacheConfig
+
+    return _query_scenario(CacheConfig.off(), False, quick, warm=False)
+
+
+# -- storage family -----------------------------------------------------------
+
+
+def _engine():
+    from repro.storage import EngineConfig, Schema, ShardEngine
+
+    config = EngineConfig(
+        schema=Schema.transaction_logs(),
+        composite_columns=(("tenant_id", "created_time"),),
+        scan_columns=frozenset({"status", "quantity"}),
+        auto_refresh_every=None,
+    )
+    return ShardEngine(config, shard_id=0)
+
+
+@scenario("storage.index", "storage",
+          "shard-engine document indexing into the write buffer")
+def storage_index(quick: bool) -> ScenarioResult:
+    count = 600 if quick else 3000
+    docs = _documents(count, seed=2)
+    engine = _engine()
+    durations = time_ops(lambda i: engine.index(docs[i]), count)
+    return ScenarioResult(latency_metrics(durations), meta={"docs": count})
+
+
+@scenario("storage.flush", "storage",
+          "flush: refresh buffered docs into a segment + translog checkpoint")
+def storage_flush(quick: bool) -> ScenarioResult:
+    batches = 20 if quick else 60
+    batch_size = 30
+    docs = _documents(batches * batch_size, seed=3)
+    engine = _engine()
+
+    def op(i: int) -> None:
+        engine.flush()
+
+    durations = []
+    for batch in range(batches):
+        for doc in docs[batch * batch_size : (batch + 1) * batch_size]:
+            engine.index(doc)
+        durations.extend(time_ops(op, 1))
+    return ScenarioResult(
+        latency_metrics(durations),
+        meta={"batches": batches, "batch_size": batch_size,
+              "segments": engine.segment_count()},
+    )
+
+
+@scenario("storage.merge", "storage",
+          "tiered segment merges over a pre-built many-segment shard")
+def storage_merge(quick: bool) -> ScenarioResult:
+    from repro.storage.merge import TieredMergePolicy
+
+    segments = 24 if quick else 64
+    segment_docs = 25
+    docs = _documents(segments * segment_docs, seed=4)
+    engine = _engine()
+    # Build the segment pile with merging suppressed, then merge it down.
+    engine.merge_policy = TieredMergePolicy(merge_factor=10_000)
+    for index in range(segments):
+        for doc in docs[index * segment_docs : (index + 1) * segment_docs]:
+            engine.index(doc)
+        engine.refresh()
+    engine.merge_policy = TieredMergePolicy(merge_factor=4)
+    durations = []
+    merges = 0
+    while True:
+        start = time.perf_counter()
+        merged = engine.maybe_merge()
+        elapsed = time.perf_counter() - start
+        if merged is None:
+            break
+        durations.append(elapsed)
+        merges += 1
+    return ScenarioResult(
+        latency_metrics(durations),
+        meta={"initial_segments": segments, "merges": merges,
+              "final_segments": engine.segment_count()},
+    )
+
+
+# -- sim family ---------------------------------------------------------------
+
+
+@scenario("sim.write_static", "sim",
+          "fluid-flow write simulation, dynamic policy under constant rate")
+def sim_write_static(quick: bool) -> ScenarioResult:
+    from repro.routing import DynamicSecondaryHashRouting
+    from repro.sim import SimulationConfig, WriteSimulation
+    from repro.workload.scenarios import StaticScenario
+
+    duration = 40.0 if quick else 150.0
+    config = SimulationConfig(
+        num_nodes=4,
+        num_shards=64,
+        node_capacity=5_000.0,
+        sample_per_tick=300 if quick else 800,
+        balance_window=10.0,
+        consensus_interval=5.0,
+    )
+    simulation = WriteSimulation(
+        DynamicSecondaryHashRouting(config.num_shards),
+        StaticScenario(rate=9_000.0, duration=duration),
+        config=config,
+    )
+    start = time.perf_counter()
+    report = simulation.run()
+    elapsed = time.perf_counter() - start
+    ticks = len(simulation.metrics.samples)
+    return ScenarioResult(
+        {
+            "wall_ticks_per_s": Metric(
+                ticks / elapsed if elapsed > 0 else 0.0, "ticks/s", "higher"
+            ),
+            # Model outputs are deterministic (seeded): exact tripwires.
+            "model_throughput": Metric(report.throughput, "writes/s", "higher"),
+            "model_delay_p99_s": Metric(report.delay_p99, "s", "lower"),
+            "model_max_delay_s": Metric(report.max_delay, "s", "lower"),
+        },
+        meta={
+            "ticks": ticks,
+            "rules_committed": len(simulation.rule_commits),
+            "history_series": len(simulation.timeseries.all_series()),
+        },
+    )

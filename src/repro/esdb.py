@@ -42,6 +42,7 @@ from repro.obsv.cat import (
     cat_rules,
     cat_shards,
     cat_tenants,
+    cat_timeseries,
 )
 from repro.obsv.dashboard import cluster_snapshot, render_dashboard
 from repro.consensus import ConsensusConfig, ConsensusMaster, Participant, RuleProposal
@@ -68,6 +69,12 @@ from repro.routing import (
 from repro.storage import EngineConfig, Schema, ShardEngine
 from repro.telemetry import NULL_TELEMETRY, Span, Telemetry, Tracer
 from repro.telemetry.runtime import default_telemetry
+from repro.telemetry.timeseries import (
+    DASHBOARD_SERIES,
+    TimeSeriesStore,
+    install_esdb_derivations,
+    sparkline,
+)
 
 if TYPE_CHECKING:
     from repro.replication import ReplicaSet
@@ -107,6 +114,15 @@ class EsdbConfig:
             hot-shard alerts, and the ``_cat`` / dashboard surfaces.
             ``ObsvConfig.off()`` removes the observer; the write path then
             pays one ``is not None`` check.
+        timeseries_enabled / timeseries_interval / timeseries_capacity:
+            performance history (:mod:`repro.telemetry.timeseries`): a
+            :class:`~repro.telemetry.timeseries.TimeSeriesStore` samples
+            the metrics registry every ``timeseries_interval`` seconds of
+            the instance's *logical* clock into ring buffers of
+            ``timeseries_capacity`` samples per series — the data behind
+            the dashboard sparklines and ``cat_timeseries``. Disabling it
+            removes the store; the write path then pays one ``is not
+            None`` check.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -122,6 +138,9 @@ class EsdbConfig:
     telemetry_enabled: bool = True
     cache: CacheConfig = field(default_factory=CacheConfig)
     obsv: ObsvConfig = field(default_factory=ObsvConfig)
+    timeseries_enabled: bool = True
+    timeseries_interval: float = 1.0
+    timeseries_capacity: int = 240
 
 
 class ESDB:
@@ -212,6 +231,17 @@ class ESDB:
                 or self.monitor.window_seconds,
             )
             obsv_runtime.register(self)
+        self.timeseries: TimeSeriesStore | None = None
+        if self.config.timeseries_enabled:
+            # Works against the no-op registry too: the null registry has
+            # no metric names, so sampling rounds simply record no series.
+            self.timeseries = install_esdb_derivations(
+                TimeSeriesStore(
+                    self.telemetry.metrics,
+                    interval=self.config.timeseries_interval,
+                    capacity=self.config.timeseries_capacity,
+                )
+            )
         self._doc_shard: dict[object, int] = {}
         self._clock = 0.0
         self._subattr_frequencies = FrequencyTracker()
@@ -286,6 +316,8 @@ class ESDB:
                 self._clock,
                 trace=span if telemetry.enabled else None,
             )
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample(self._clock)
         return shard_id
 
     def write_many(self, sources: Iterable[Mapping[str, Any]]) -> int:
@@ -392,6 +424,8 @@ class ESDB:
                 committed.append(
                     (proposal.tenant_id, proposal.offset, outcome.effective_time)
                 )
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample(self._clock)
         return committed
 
     # -- query path ----------------------------------------------------------------
@@ -488,6 +522,8 @@ class ESDB:
                 detail=detail,
                 trace=root,
             )
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample(self._clock)
         return result, root
 
     def _statement_tenant(self, statement: SelectStatement | None):
@@ -641,6 +677,24 @@ class ESDB:
         """Per-level query-cache statistics."""
         return cat_caches(self)
 
+    def cat_timeseries(self, k: int | None = None) -> CatTable:
+        """Performance history: one row per recorded time series with a
+        sparkline over the retained window (top-*k* by name when given)."""
+        return cat_timeseries(self, k=k)
+
+    def sample_timeseries(self, now: float | None = None, force: bool = False) -> bool:
+        """Take a performance-history sample at *now* (default: the
+        instance's logical clock). ``force=True`` samples even between
+        interval boundaries. Returns whether a sample was taken."""
+        if self.timeseries is None:
+            return False
+        at = self._clock if now is None else now
+        self.advance_clock(at)
+        if force:
+            self.timeseries.sample(at)
+            return True
+        return self.timeseries.maybe_sample(at)
+
     def dashboard(self) -> str:
         """The one-page text dashboard (nodes, shard heatmap, top tenants,
         alerts, slow-log tail) — see also ``python -m repro.obsv``."""
@@ -771,6 +825,7 @@ class ESDB:
             f"{segments} live segments"
         ]
         sections.update(self._registry_report_sections())
+        sections.update(self._timeseries_report_section())
         if self.obsv is not None:
             sections.update(self.obsv.report_lines())
         if isinstance(self.policy, DynamicSecondaryHashRouting):
@@ -788,6 +843,28 @@ class ESDB:
         for name in sorted(sections):
             lines.extend(sections[name])
         return "\n".join(lines)
+
+    def _timeseries_report_section(self) -> dict[str, list[str]]:
+        """The performance-history section of :meth:`stats_report` —
+        well-formed (header-only) when the store is disabled, empty, or
+        running against the no-op registry."""
+        store = self.timeseries
+        if store is None:
+            return {}
+        lines = [
+            f"history: {store.samples_taken} samples @ {store.interval:g}s, "
+            f"{len(store.all_series())} series"
+        ]
+        for label, name in DASHBOARD_SERIES:
+            series = store.get(name)
+            if series is None or not len(series):
+                continue
+            summary = series.summary()
+            lines.append(
+                f"  {label:<14} {sparkline(series.values(), width=32)} "
+                f"last={summary['last']:.3f} max={summary['max']:.3f}"
+            )
+        return {"timeseries": lines}
 
     def _registry_report_sections(self) -> dict[str, list[str]]:
         """Registry-derived report sections (empty when telemetry is off)."""
@@ -816,7 +893,7 @@ class ESDB:
         ):
             histogram = metrics.get(name)
             if histogram is not None and histogram.count:
-                p = histogram.percentiles()
+                p = histogram.summary()
                 latency_lines.append(
                     f"{title}: p50={p['p50'] * 1e3:.3f}ms p95={p['p95'] * 1e3:.3f}ms "
                     f"p99={p['p99'] * 1e3:.3f}ms max={p['max'] * 1e3:.3f}ms"

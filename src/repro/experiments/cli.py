@@ -61,6 +61,14 @@ def build_parser() -> argparse.ArgumentParser:
             "ESDB instance the experiments created"
         ),
     )
+    parser.add_argument(
+        "--history",
+        action="store_true",
+        help=(
+            "after the run, print the performance-history table "
+            "(cat_timeseries sparklines) for every ESDB instance created"
+        ),
+    )
     return parser
 
 
@@ -87,7 +95,7 @@ def main(argv: list | None = None) -> int:
 
         profile = Telemetry()
         set_default_telemetry(profile)
-    if args.dashboard:
+    if args.dashboard or args.history:
         from repro.obsv import runtime as obsv_runtime
 
         obsv_runtime.start_capture()
@@ -101,12 +109,18 @@ def main(argv: list | None = None) -> int:
                 print(result.render_chart(args.chart))
             print(f"({elapsed:.1f}s at scale={args.scale})\n")
     finally:
-        if args.dashboard:
+        if args.dashboard or args.history:
             from repro.obsv import runtime as obsv_runtime
 
             for db in obsv_runtime.stop_capture():
-                print(db.dashboard())
-                print()
+                if args.dashboard:
+                    print(db.dashboard())
+                    print()
+                if args.history:
+                    from repro.obsv import cat_timeseries
+
+                    print(cat_timeseries(db).render())
+                    print()
         if profile is not None:
             from repro.telemetry import profile_dump, set_default_telemetry
 

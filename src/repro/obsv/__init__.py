@@ -28,9 +28,15 @@ from repro.obsv.cat import (
     cat_rules,
     cat_shards,
     cat_tenants,
+    cat_timeseries,
 )
 from repro.obsv.config import DISABLED, ObsvConfig
-from repro.obsv.dashboard import cluster_snapshot, render_dashboard, shard_heatmap
+from repro.obsv.dashboard import (
+    cluster_snapshot,
+    performance_history,
+    render_dashboard,
+    shard_heatmap,
+)
 from repro.obsv.observer import Observer
 from repro.obsv.skew import (
     Alert,
@@ -62,11 +68,13 @@ __all__ = [
     "cat_rules",
     "cat_shards",
     "cat_tenants",
+    "cat_timeseries",
     "cluster_snapshot",
     "coefficient_of_variation",
     "detect_alerts",
     "gini",
     "max_mean_ratio",
+    "performance_history",
     "render_dashboard",
     "rule_measurement",
     "shard_heatmap",

@@ -189,6 +189,48 @@ def cat_rules(db) -> CatTable:
     return CatTable("rules", ("effective_time", "offset", "tenant", "why"), rows)
 
 
+def cat_timeseries(db, k: int | None = None, spark_width: int = 24) -> CatTable:
+    """One row per recorded performance-history series: sample count,
+    last/min/max/mean over the retained ring window, and a sparkline.
+
+    Works against any ``TimeSeriesStore``-carrying object; an instance
+    whose store is disabled (``db.timeseries is None``) yields an empty,
+    well-formed table.
+    """
+    from repro.telemetry.timeseries import sparkline
+
+    store = getattr(db, "timeseries", None)
+    rows = []
+    if store is not None:
+        series_list = store.all_series()
+        if k is not None:
+            series_list = series_list[:k]
+        for series in series_list:
+            summary = series.summary()
+            labels = ",".join(
+                f"{key}={value}" for key, value in sorted(
+                    series.labels.items(), key=lambda kv: str(kv[0])
+                )
+            )
+            rows.append(
+                (
+                    series.name,
+                    labels,
+                    summary["count"],
+                    round(summary["last"], 3),
+                    round(summary["min"], 3),
+                    round(summary["max"], 3),
+                    round(summary["mean"], 3),
+                    sparkline(series.values(), width=spark_width),
+                )
+            )
+    return CatTable(
+        "timeseries",
+        ("series", "labels", "samples", "last", "min", "max", "mean", "spark"),
+        rows,
+    )
+
+
 def cat_caches(db) -> CatTable:
     """One row per query-cache level: hit rate, evictions, bytes held."""
     metrics = db.telemetry.metrics

@@ -17,6 +17,7 @@ from repro.obsv.cat import (
     cat_shards,
     cat_tenants,
 )
+from repro.telemetry.timeseries import DASHBOARD_SERIES, sparkline
 
 #: Heat ramp from cold to hot, index scaled by load relative to the max.
 _HEAT = " .:-=+*#%@"
@@ -55,6 +56,36 @@ def _shard_docs(db) -> dict:
     }
 
 
+def performance_history(db, width: int = 40) -> str:
+    """Sparkline strip per key series from the instance's
+    :class:`~repro.telemetry.timeseries.TimeSeriesStore`.
+
+    Renders the :data:`~repro.telemetry.timeseries.DASHBOARD_SERIES` rows
+    that have samples; degrades to ``(no samples)`` when the store is
+    disabled, empty, or backed by the no-op registry — never raises.
+    """
+    store = getattr(db, "timeseries", None)
+    if store is None:
+        return "  (history disabled)"
+    lines = []
+    for label, name in DASHBOARD_SERIES:
+        series = store.get(name)
+        if series is None or not len(series):
+            continue
+        summary = series.summary()
+        lines.append(
+            f"  {label:<14} {sparkline(series.values(), width=width)} "
+            f"last={summary['last']:.3f}"
+        )
+    if not lines:
+        return "  (no samples)"
+    lines.append(
+        f"  {store.samples_taken} samples @ {store.interval:g}s logical interval, "
+        f"ring capacity {store.capacity}"
+    )
+    return "\n".join(lines)
+
+
 def render_dashboard(db) -> str:
     """One text page of cluster health: the operator's ``watch`` target."""
     cluster = db.cluster
@@ -81,6 +112,7 @@ def render_dashboard(db) -> str:
     if len(rules):
         sections += ["", "-- routing rules --", rules.render()]
     sections += ["", "-- caches --", cat_caches(db).render()]
+    sections += ["", "-- performance history --", performance_history(db)]
     if observer is not None:
         alerts = observer.recent_alerts(5)
         sections += ["", "-- skew alerts --"]
@@ -118,6 +150,18 @@ def cluster_snapshot(db) -> dict:
         "rules": cat_rules(db).to_dicts(),
         "caches": cat_caches(db).to_dicts(),
     }
+    store = getattr(db, "timeseries", None)
+    if store is not None:
+        snapshot["timeseries"] = store.snapshot()
+    else:
+        # Well-formed empty section: consumers never need a presence check.
+        snapshot["timeseries"] = {
+            "interval": 0.0,
+            "capacity": 0,
+            "samples": 0,
+            "dropped_series": 0,
+            "series": [],
+        }
     if observer is not None:
         snapshot["obsv"] = observer.snapshot()
     return snapshot

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.telemetry.metrics import bucket_quantiles, exponential_buckets
+from repro.telemetry.metrics import exponential_buckets, summarize
 
 # Write delays land between sub-millisecond and tens of seconds; 48 buckets
 # growing 1.35x from 1ms keep the interpolation error of the quantiles small.
@@ -97,7 +97,7 @@ class MetricsCollector:
         node_cpu = np.mean([s.node_cpu for s in steady], axis=0)
         ticks_counted = max(len(self.samples), 1)
         shard_tp = self.shard_throughput_total / ticks_counted
-        quantiles = bucket_quantiles(delays, buckets=DELAY_BUCKETS)
+        quantiles = summarize(delays, buckets=DELAY_BUCKETS)
         return SimulationReport(
             offered_rate=offered,
             throughput=throughput,
@@ -107,9 +107,9 @@ class MetricsCollector:
             node_cpu=node_cpu,
             shard_throughput=shard_tp,
             shard_sizes=self.shard_sizes.copy(),
-            delay_p50=quantiles.get(0.5, 0.0),
-            delay_p95=quantiles.get(0.95, 0.0),
-            delay_p99=quantiles.get(0.99, 0.0),
+            delay_p50=quantiles["p50"],
+            delay_p95=quantiles["p95"],
+            delay_p99=quantiles["p99"],
         )
 
 

@@ -51,6 +51,7 @@ from repro.obsv.skew import (
 from repro.routing import DynamicSecondaryHashRouting, RoutingPolicy
 from repro.sim.metrics import MetricsCollector, SimulationReport
 from repro.sim.models import ReplicationCostModel, SimulationConfig
+from repro.telemetry.timeseries import TimeSeriesStore
 from repro.workload.generator import TransactionLogGenerator, WorkloadConfig
 from repro.workload.scenarios import Scenario
 
@@ -143,6 +144,14 @@ class WriteSimulation:
             self.config.num_shards, window_seconds=self.config.balance_window
         )
         self.skew_alerts: list = []
+
+        # Performance history: bounded per-tick model series, fed directly
+        # (no registry) on the simulation's logical clock. The same ring
+        # bound as the facade store applies, so week-long scenario runs
+        # keep O(capacity) history per series.
+        self.timeseries = TimeSeriesStore(
+            interval=self.config.tick_seconds, capacity=512
+        )
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> SimulationReport:
@@ -256,16 +265,21 @@ class WriteSimulation:
             node_served * primary_share / self.replication.primary_write_cost
         ) / cfg.tick_seconds
 
+        completed = float(node_throughput.sum() * cfg.tick_seconds)
         self.metrics.record_tick(
             time=now,
             offered=offered,
-            completed=float(node_throughput.sum() * cfg.tick_seconds),
+            completed=completed,
             avg_delay=avg_delay,
             max_delay=max_delay,
             node_throughput=node_throughput,
             node_cpu=node_cpu,
             shard_throughput=shard_fraction * admitted,
         )
+        self.timeseries.record("sim.throughput", now, completed / cfg.tick_seconds)
+        self.timeseries.record("sim.avg_delay", now, avg_delay)
+        self.timeseries.record("sim.max_delay", now, max_delay)
+        self.timeseries.record("sim.client_backlog", now, self._client_backlog)
 
         if self._is_dynamic and now >= self._next_balance_time:
             self._rebalance(now)

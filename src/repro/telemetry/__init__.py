@@ -32,6 +32,19 @@ from repro.telemetry.metrics import (
     MetricsRegistry,
     bucket_quantiles,
     exponential_buckets,
+    summarize,
+)
+from repro.telemetry.timeseries import (
+    DASHBOARD_SERIES,
+    CounterRate,
+    Derivation,
+    HistogramQuantile,
+    HitRatio,
+    LabelSpread,
+    TimeSeries,
+    TimeSeriesStore,
+    install_esdb_derivations,
+    sparkline,
 )
 from repro.telemetry.runtime import (
     NULL_TELEMETRY,
@@ -51,6 +64,17 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "bucket_quantiles",
     "exponential_buckets",
+    "summarize",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "Derivation",
+    "CounterRate",
+    "HitRatio",
+    "HistogramQuantile",
+    "LabelSpread",
+    "DASHBOARD_SERIES",
+    "install_esdb_derivations",
+    "sparkline",
     "Span",
     "Tracer",
     "Telemetry",

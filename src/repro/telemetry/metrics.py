@@ -173,6 +173,21 @@ class Histogram:
             "max": self.max_value if self.count else 0.0,
         }
 
+    def summary(self) -> dict:
+        """The full public summary — count/sum/mean/min/max plus the
+        interpolated p50/p95/p99. This is the one API benchmark and
+        time-series code should consume; bucket internals stay private."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
 
 def bucket_quantiles(values: Iterable[float], quantiles: tuple[float, ...] = (0.5, 0.95, 0.99),
                      buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> dict:
@@ -187,6 +202,20 @@ def bucket_quantiles(values: Iterable[float], quantiles: tuple[float, ...] = (0.
     for value in values:
         histogram.observe(value)
     return {q: histogram.quantile(q) for q in quantiles}
+
+
+def summarize(values: Iterable[float],
+              buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> dict:
+    """One-shot :meth:`Histogram.summary` of *values*.
+
+    The bench harness and the simulator both summarize ad-hoc duration
+    lists through this, so their p50/p95/p99 share the exact
+    bucket-interpolation code path of the live telemetry histograms.
+    """
+    histogram = Histogram("_adhoc", {}, buckets=buckets)
+    for value in values:
+        histogram.observe(value)
+    return histogram.summary()
 
 
 class MetricsRegistry:
@@ -299,13 +328,7 @@ class MetricsRegistry:
                 }
                 if kind == "histogram":
                     entry.update(
-                        count=metric.count,
-                        sum=metric.total,
-                        min=metric.min_value if metric.count else 0.0,
-                        max=metric.max_value if metric.count else 0.0,
-                        p50=metric.quantile(0.50),
-                        p95=metric.quantile(0.95),
-                        p99=metric.quantile(0.99),
+                        metric.summary(),
                         buckets=[
                             [bound, count]
                             for bound, count in zip(

@@ -42,6 +42,9 @@ class NullMetric:
     def percentiles(self) -> dict:
         return {}
 
+    def summary(self) -> dict:
+        return {}
+
     value = 0.0
     count = 0
     total = 0.0
@@ -72,6 +75,9 @@ class NullRegistry:
 
     def names(self) -> list:
         return []
+
+    def kind(self, name: str) -> None:
+        return None
 
     def series(self, name: str) -> list:
         return []

@@ -1,0 +1,283 @@
+"""Tests for the continuous benchmark harness and regression detection."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import (
+    FAMILIES,
+    SCHEMA_VERSION,
+    Metric,
+    compare_results,
+    env_stamp,
+    families_covered,
+    get,
+    latency_metrics,
+    registered,
+    render_results,
+    run_scenarios,
+    time_ops,
+    validate_results,
+)
+from repro.bench.__main__ import main
+from repro.errors import ConfigurationError
+
+#: A cheap scenario from each family — keeps integration tests fast.
+QUICK_SET = [
+    "write.routing.hash",
+    "query.cache.warm",
+    "storage.index",
+    "sim.write_static",
+]
+
+
+def metric_dict(value: float, direction: str = "higher") -> dict:
+    return {"value": value, "unit": "ops/s", "direction": direction}
+
+
+def make_payload(**scenario_metrics) -> dict:
+    """A minimal schema-valid payload: {scenario: {metric: value_dict}}."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "tool": "repro.bench",
+        "quick": True,
+        "generated_at": "2026-01-01T00:00:00Z",
+        "env": env_stamp(),
+        "scenarios": {
+            name: {
+                "family": name.split(".")[0],
+                "description": "synthetic",
+                "elapsed_s": 0.1,
+                "metrics": metrics,
+                "meta": {},
+            }
+            for name, metrics in scenario_metrics.items()
+        },
+    }
+
+
+# -- registry and helpers ------------------------------------------------------
+
+
+class TestRegistry:
+    def test_all_families_have_scenarios(self):
+        names = registered()
+        assert names == sorted(names)
+        families = {get(name).family for name in names}
+        assert families == set(FAMILIES)
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            get("no.such.scenario")
+
+    def test_metric_direction_validated(self):
+        with pytest.raises(ConfigurationError):
+            Metric(1.0, "ops/s", "sideways")
+
+    def test_time_ops_and_latency_metrics(self):
+        durations = time_ops(lambda i: None, 50)
+        assert len(durations) == 50
+        metrics = latency_metrics(durations)
+        assert metrics["throughput_ops_s"].direction == "higher"
+        assert metrics["throughput_ops_s"].value > 0
+        for name in ("p50_ms", "p95_ms", "p99_ms", "mean_ms"):
+            assert metrics[name].direction == "lower"
+            assert metrics[name].value >= 0
+        assert metrics["p50_ms"].value <= metrics["p99_ms"].value
+
+    def test_latency_metrics_empty_is_all_zero(self):
+        # Scenarios with zero timed ops (e.g. nothing to merge) degrade to
+        # zero metrics instead of crashing the whole suite.
+        metrics = latency_metrics([])
+        assert metrics["throughput_ops_s"].value == 0.0
+        assert metrics["p99_ms"].value == 0.0
+
+
+# -- running scenarios ---------------------------------------------------------
+
+
+class TestRunScenarios:
+    def test_quick_run_is_schema_valid_and_covers_families(self):
+        payload = run_scenarios(names=QUICK_SET, quick=True)
+        assert validate_results(payload) == []
+        assert payload["quick"] is True
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert families_covered(payload) == set(FAMILIES)
+        for name, entry in payload["scenarios"].items():
+            assert entry["elapsed_s"] >= 0
+            for metric in entry["metrics"].values():
+                assert metric["direction"] in ("higher", "lower")
+                assert isinstance(metric["value"], (int, float))
+        text = render_results(payload)
+        for name in QUICK_SET:
+            assert name in text
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenarios(names=["write.routing.hash", "bogus"], quick=True)
+
+    def test_validate_results_flags_problems(self):
+        payload = make_payload(**{"write.x": {"m": metric_dict(1.0)}})
+        assert validate_results(payload) == []
+        broken = copy.deepcopy(payload)
+        broken["schema_version"] = 999
+        assert validate_results(broken)
+        broken = copy.deepcopy(payload)
+        broken["scenarios"]["write.x"]["family"] = "nonsense"
+        assert validate_results(broken)
+        broken = copy.deepcopy(payload)
+        broken["scenarios"]["write.x"]["metrics"]["m"]["direction"] = "sideways"
+        assert validate_results(broken)
+        broken = copy.deepcopy(payload)
+        broken["scenarios"]["write.x"]["metrics"]["m"]["value"] = "fast"
+        assert validate_results(broken)
+        broken = copy.deepcopy(payload)
+        broken["scenarios"] = {}
+        assert validate_results(broken)
+
+
+# -- regression comparison -----------------------------------------------------
+
+
+class TestCompare:
+    def test_injected_regression_is_flagged(self):
+        baseline = make_payload(**{"write.x": {"tput": metric_dict(1000.0)}})
+        current = make_payload(**{"write.x": {"tput": metric_dict(500.0)}})
+        report = compare_results(current, baseline, tolerance=0.25)
+        assert not report.ok
+        (delta,) = report.regressions
+        assert delta.scenario == "write.x" and delta.metric == "tput"
+        assert delta.change == pytest.approx(-0.5)
+        assert "REGRESSION" in delta.describe()
+        assert "!!" in report.render()
+
+    def test_direction_aware_classification(self):
+        # A latency (lower-is-better) that rises is a regression; a
+        # throughput (higher-is-better) that rises is an improvement.
+        baseline = make_payload(**{
+            "query.x": {
+                "p99_ms": metric_dict(10.0, "lower"),
+                "tput": metric_dict(100.0, "higher"),
+            }
+        })
+        current = make_payload(**{
+            "query.x": {
+                "p99_ms": metric_dict(20.0, "lower"),
+                "tput": metric_dict(200.0, "higher"),
+            }
+        })
+        report = compare_results(current, baseline, tolerance=0.25)
+        assert [d.metric for d in report.regressions] == ["p99_ms"]
+        assert [d.metric for d in report.improvements] == ["tput"]
+
+    def test_within_tolerance_is_ok(self):
+        baseline = make_payload(**{"write.x": {"tput": metric_dict(1000.0)}})
+        current = make_payload(**{"write.x": {"tput": metric_dict(900.0)}})
+        report = compare_results(current, baseline, tolerance=0.25)
+        assert report.ok
+        assert report.regressions == [] and report.improvements == []
+        assert "no regressions" in report.render()
+
+    def test_zero_baseline_never_flags(self):
+        baseline = make_payload(**{"write.x": {"tput": metric_dict(0.0)}})
+        current = make_payload(**{"write.x": {"tput": metric_dict(50.0)}})
+        report = compare_results(current, baseline)
+        (delta,) = report.deltas
+        assert delta.change is None
+        assert not delta.regression and not delta.improvement
+
+    def test_scenario_set_drift_reported_not_failed(self):
+        baseline = make_payload(**{
+            "write.old": {"tput": metric_dict(1.0)},
+            "write.both": {"tput": metric_dict(1.0)},
+        })
+        current = make_payload(**{
+            "write.both": {"tput": metric_dict(1.0)},
+            "write.new": {"tput": metric_dict(1.0)},
+        })
+        report = compare_results(current, baseline)
+        assert report.ok
+        assert report.missing_scenarios == ["write.old"]
+        assert report.new_scenarios == ["write.new"]
+        assert "write.old" in report.render() and "write.new" in report.render()
+
+
+# -- the CLI -------------------------------------------------------------------
+
+
+class TestCli:
+    def test_list_exits_zero(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "write.routing.hash" in out
+
+    def test_unknown_scenario_is_usage_error(self, capsys):
+        assert main(["definitely.not.a.scenario"]) == 2
+
+    def test_negative_tolerance_is_usage_error(self):
+        assert main(["--tolerance", "-1", "storage.index"]) == 2
+
+    def test_quick_run_writes_results(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        assert main(["--quick", "--out", str(out), "storage.index"]) == 0
+        payload = json.loads(out.read_text())
+        assert validate_results(payload) == []
+        assert "storage.index" in payload["scenarios"]
+
+    def test_compare_exits_nonzero_on_injected_regression(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        baseline_path = tmp_path / "baseline.json"
+        assert main(["--quick", "--out", str(out), "storage.index"]) == 0
+        # Forge a baseline that claims 100x the real throughput: the fresh
+        # run must register as a regression and fail the comparison.
+        baseline = json.loads(out.read_text())
+        for metrics in baseline["scenarios"].values():
+            metrics["metrics"]["throughput_ops_s"]["value"] *= 100.0
+        baseline_path.write_text(json.dumps(baseline))
+        code = main([
+            "--quick", "--out", str(out), "storage.index",
+            "--compare", str(baseline_path),
+        ])
+        assert code == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_report_only_downgrades_regression_to_exit_zero(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        baseline_path = tmp_path / "baseline.json"
+        assert main(["--quick", "--out", str(out), "storage.index"]) == 0
+        baseline = json.loads(out.read_text())
+        for metrics in baseline["scenarios"].values():
+            metrics["metrics"]["throughput_ops_s"]["value"] *= 100.0
+        baseline_path.write_text(json.dumps(baseline))
+        code = main([
+            "--quick", "--out", str(out), "storage.index",
+            "--compare", str(baseline_path), "--report-only",
+        ])
+        assert code == 0
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_against_identical_run_passes(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        baseline_path = tmp_path / "baseline.json"
+        assert main([
+            "--quick", "--out", str(out), "storage.index",
+            "--update-baseline", "--baseline-out", str(baseline_path),
+        ]) == 0
+        # Huge tolerance: wall-clock noise between the two runs can't trip it.
+        code = main([
+            "--quick", "--out", str(out), "storage.index",
+            "--compare", str(baseline_path), "--tolerance", "1000",
+        ])
+        assert code == 0
+
+    def test_unreadable_baseline_is_usage_error(self, tmp_path, capsys):
+        out = tmp_path / "results.json"
+        missing = tmp_path / "never_written.json"
+        code = main([
+            "--quick", "--out", str(out), "storage.index",
+            "--compare", str(missing),
+        ])
+        assert code == 2
