@@ -1,6 +1,6 @@
 """The registered benchmark scenarios.
 
-Four families, mirroring the paper's evaluation axes:
+Five families, mirroring the paper's evaluation axes plus fault tolerance:
 
 * ``write.*`` — the facade write path under Zipf skew, one scenario per
   routing policy (Figs 10–13: the policies are the paper's headline
@@ -11,7 +11,10 @@ Four families, mirroring the paper's evaluation axes:
   (refresh + translog checkpoint), and segment merging (§3.3);
 * ``sim.*`` — the fluid-flow write simulation; its *model* outputs
   (throughput, delay) are bit-deterministic, so they double as exact
-  regression tripwires on top of the wall-clock tick rate.
+  regression tripwires on top of the wall-clock tick rate;
+* ``chaos.*`` — a seeded :mod:`repro.faults` scenario (crash the primary
+  mid-workload, promote, heal); acked-write and invariant counts are
+  deterministic tripwires, wall throughput tracks recovery cost.
 
 Every scenario accepts ``quick`` (reduced iteration counts for CI smoke
 runs and tests) and returns the standard throughput + p50/p95/p99 metric
@@ -271,6 +274,48 @@ def storage_merge(quick: bool) -> ScenarioResult:
         latency_metrics(durations),
         meta={"initial_segments": segments, "merges": merges,
               "final_segments": engine.segment_count()},
+    )
+
+
+# -- chaos family -------------------------------------------------------------
+
+
+@scenario("chaos.crash_failover", "chaos",
+          "seeded chaos run: blackhole + node crash + primary crash mid-workload, "
+          "then full recovery with invariant checks")
+def chaos_crash_failover(quick: bool) -> ScenarioResult:
+    from repro.faults import ChaosConfig, ChaosRunner
+    from repro.faults.__main__ import build_failover_plan
+
+    steps = 160 if quick else 600
+    shards = 8
+    plan = build_failover_plan(seed=42, steps=steps, num_shards=shards)
+    runner = ChaosRunner(
+        plan,
+        ChaosConfig(steps=steps, num_nodes=3, num_shards=shards, replicas_per_shard=2),
+    )
+    start = time.perf_counter()
+    report = runner.run()
+    elapsed = time.perf_counter() - start
+    return ScenarioResult(
+        {
+            "wall_steps_per_s": Metric(
+                steps / elapsed if elapsed > 0 else 0.0, "steps/s", "higher"
+            ),
+            # Deterministic tripwires: same seed must ack every write and
+            # recover with zero invariant violations.
+            "acked_writes": Metric(float(report.writes_acked), "writes", "higher"),
+            "invariant_violations": Metric(
+                float(len(report.violations)), "violations", "lower"
+            ),
+        },
+        meta={
+            "seed": plan.seed,
+            "faults_injected": report.faults_injected,
+            "faults_recovered": report.faults_recovered,
+            "dead_letters_redriven": report.dead_letters_redriven,
+            "fingerprint": report.fingerprint(),
+        },
     )
 
 

@@ -16,6 +16,7 @@ Three techniques accelerate writing and contain hotspots:
 from __future__ import annotations
 
 import enum
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
@@ -44,15 +45,25 @@ class WriteClientConfig:
             are merged (the "frequently modified row" batching).
         hotspot_tenants_hint: tenants to isolate from the start (the monitor
             updates this set at runtime via :meth:`WriteClient.mark_hotspot`).
+        dispatch_retries: extra dispatch attempts per batch after the first
+            fails (bounded retry with exponential backoff).
+        backoff_base_seconds: backoff before retry ``n`` is
+            ``base * 2**(n-1)`` seconds; 0 disables sleeping (tests).
     """
 
     batch_size: int = 128
     coalesce_window: int = 1024
     hotspot_tenants_hint: frozenset = frozenset()
+    dispatch_retries: int = 3
+    backoff_base_seconds: float = 0.005
 
     def __post_init__(self) -> None:
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if self.dispatch_retries < 0:
+            raise ConfigurationError("dispatch_retries must be >= 0")
+        if self.backoff_base_seconds < 0:
+            raise ConfigurationError("backoff_base_seconds must be >= 0")
 
 
 @dataclass
@@ -81,13 +92,16 @@ class WriteClient:
         dispatch: Callable[[int, list], None],
         config: WriteClientConfig | None = None,
         telemetry=None,
+        sleep: Callable[[float], None] | None = None,
     ) -> None:
         self.policy = policy
         self.dispatch = dispatch
         self.config = config or WriteClientConfig()
+        self._sleep = sleep if sleep is not None else time.sleep
         self._main_queue: OrderedDict = OrderedDict()
         self._hotspot_queue: OrderedDict = OrderedDict()
         self._hotspots: set = set(self.config.hotspot_tenants_hint)
+        self.dead_letters: list[PendingWrite] = []
         self.stats = {"queued": 0, "isolated": 0, "coalesced": 0, "dispatched": 0}
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         metrics = self.telemetry.metrics
@@ -103,6 +117,8 @@ class WriteClient:
             ),
         }
         self._dispatched_counter = metrics.counter("write_client_dispatched_total")
+        self._retry_counter = metrics.counter("write_client_retries_total")
+        self._dead_letter_counter = metrics.counter("write_client_dead_letters_total")
         self._batch_histogram = metrics.histogram(
             "write_client_batch_size", buckets=exponential_buckets(1, 2, 10)
         )
@@ -134,6 +150,19 @@ class WriteClient:
 
         key = (tenant_id, doc_id)
         pending = queue.get(key)
+        if pending is None:
+            # The tenant's hotspot status may have flipped since the row was
+            # first buffered, leaving its pending write in the *other* queue.
+            # Checking only the current queue would enqueue a duplicate and
+            # dispatch the stale pre-coalesce state later; migrate instead.
+            other = (
+                self._main_queue
+                if queue is self._hotspot_queue
+                else self._hotspot_queue
+            )
+            pending = other.pop(key, None)
+            if pending is not None:
+                queue[key] = pending
         if pending is not None:
             # Workload batching: merge into the pending write; only the
             # eventual state of the row is materialized.
@@ -174,20 +203,74 @@ class WriteClient:
         return sent
 
     def _flush_queue(self, queue: OrderedDict) -> int:
-        by_shard: dict[int, list] = {}
+        by_shard: dict[int, list[PendingWrite]] = {}
         for pending in queue.values():
-            by_shard.setdefault(pending.shard_id, []).append(pending.source)
+            by_shard.setdefault(pending.shard_id, []).append(pending)
         queue.clear()
         sent = 0
-        for shard_id, sources in by_shard.items():
-            for start in range(0, len(sources), self.config.batch_size):
-                batch = sources[start : start + self.config.batch_size]
-                self.dispatch(shard_id, batch)
-                self._batch_histogram.observe(len(batch))
-                sent += len(batch)
+        for shard_id, pendings in by_shard.items():
+            for start in range(0, len(pendings), self.config.batch_size):
+                batch = pendings[start : start + self.config.batch_size]
+                if self._dispatch_with_retry(shard_id, batch):
+                    self._batch_histogram.observe(len(batch))
+                    sent += len(batch)
         self.stats["dispatched"] += sent
         self._dispatched_counter.inc(sent)
         return sent
+
+    def _dispatch_with_retry(self, shard_id: int, batch: list[PendingWrite]) -> bool:
+        """Dispatch one batch with bounded retry + exponential backoff.
+
+        A batch that still fails after the final attempt moves to
+        :attr:`dead_letters` instead of raising, so one unreachable shard
+        never wedges the flush of every other shard's work. Dead letters can
+        be re-driven once the fault heals via :meth:`redrive_dead_letters`.
+        """
+        sources = [pending.source for pending in batch]
+        for attempt in range(1 + self.config.dispatch_retries):
+            if attempt:
+                self._retry_counter.inc()
+                backoff = self.config.backoff_base_seconds * (2 ** (attempt - 1))
+                if backoff > 0:
+                    self._sleep(backoff)
+            try:
+                self.dispatch(shard_id, sources)
+                return True
+            except Exception:
+                continue
+        self.dead_letters.extend(batch)
+        self._dead_letter_counter.inc(len(batch))
+        return False
+
+    def dead_letter_count(self) -> int:
+        return len(self.dead_letters)
+
+    def redrive_dead_letters(self) -> int:
+        """Re-submit every dead letter through routing (the shard layout may
+        have changed while the fault was active). Returns how many writes
+        were re-queued; call :meth:`flush` afterwards to dispatch them."""
+        letters, self.dead_letters = self.dead_letters, []
+        for pending in letters:
+            queue = (
+                self._hotspot_queue
+                if pending.tenant_id in self._hotspots
+                else self._main_queue
+            )
+            key = (pending.tenant_id, pending.doc_id)
+            existing = queue.get(key)
+            if existing is not None:
+                # A newer write for the row arrived meanwhile; fold the dead
+                # letter underneath it (newer fields win).
+                merged = dict(pending.source)
+                merged.update(existing.source)
+                existing.source = merged
+                existing.coalesce_count += pending.coalesce_count
+                continue
+            pending.shard_id = self.policy.route_write(
+                pending.tenant_id, pending.doc_id, pending.created_time
+            )
+            queue[key] = pending
+        return len(letters)
 
     # -- introspection -------------------------------------------------------------
     def queue_depths(self) -> tuple[int, int]:

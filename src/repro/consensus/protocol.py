@@ -109,6 +109,12 @@ class Participant:
     def reachable(self) -> bool:
         return not (self.crashed or self.partitioned)
 
+    def pending_round(self) -> int | None:
+        """Round id of an accepted prepare still awaiting its decision, or
+        None. A participant that crashed/partitioned between prepare and
+        the commit broadcast sits in this state until caught up."""
+        return self._pending.round_id if self._pending is not None else None
+
     # -- workload interface --------------------------------------------------
     def execute_write(self, created_time: float) -> bool:
         """Record that a write with *created_time* was executed.
@@ -132,6 +138,20 @@ class Participant:
         block newer workloads. Returns None when unreachable."""
         if not self.reachable:
             return None
+        if self._pending is not None and self._pending.round_id != message.round_id:
+            # A different round's prepare is still awaiting its decision
+            # (we missed the broadcast while crashed/partitioned). Silently
+            # overwriting ``_pending`` would forget that round's blocked
+            # state and let its rule vanish; reject until caught up.
+            return PrepareReply(
+                message.round_id,
+                self.name,
+                accepted=False,
+                reason=(
+                    f"round {self._pending.round_id} still in flight; "
+                    "needs catch-up before accepting a new prepare"
+                ),
+            )
         if self.latest_executed_creation_time >= message.effective_time:
             return PrepareReply(
                 message.round_id,
@@ -204,6 +224,7 @@ class ConsensusMaster:
             "consensus_rounds_total", outcome="aborted"
         )
         self._wait_histogram = metrics.histogram("consensus_effective_wait_seconds")
+        self._catchup_counter = metrics.counter("consensus_catchup_deliveries_total")
 
     def propose(self, proposal: RuleProposal, global_time: float) -> RoundOutcome:
         """Run one full consensus round and return its outcome.
@@ -289,4 +310,59 @@ class ConsensusMaster:
             participant.rules.insert(rule.effective_time, rule.offset, rule.tenants)
             copied += 1
         participant.blocked_after = None
+        participant._pending = None
         return copied
+
+    def catch_up(self, participant: Participant) -> int:
+        """Heal-time catch-up: deliver the commit/abort decisions a
+        recovered participant missed while crashed/partitioned.
+
+        Resolves a dangling prepare (the round's recorded outcome is
+        re-delivered as a commit/abort message, which applies the rule and
+        lifts ``blocked_after``), then fills in any committed rules the
+        participant never saw. Without this, a participant that accepted a
+        prepare and missed the broadcast holds every write newer than the
+        dead effective time *forever*. Returns the number of decisions and
+        rules delivered; raises nothing for an unreachable participant (it
+        simply cannot be caught up yet).
+        """
+        if not participant.reachable:
+            return 0
+        delivered = 0
+        pending = participant.pending_round()
+        if pending is not None:
+            outcome = next(
+                (o for o in self.history if o.round_id == pending), None
+            )
+            if outcome is not None:
+                participant.on_commit(
+                    CommitMessage(
+                        outcome.round_id,
+                        outcome.committed,
+                        outcome.proposal,
+                        outcome.effective_time,
+                    )
+                )
+            else:
+                # No recorded outcome (round evaporated with the old
+                # master): treat as aborted so the block cannot outlive it.
+                participant._pending = None
+                participant.blocked_after = None
+            delivered += 1
+        # Fill in committed rules the participant missed entirely (crashed
+        # through whole rounds). insert() merges by (t, s), so re-delivery
+        # of rules it already holds is a no-op for routing decisions.
+        reference = self.rules.snapshot()
+        if participant.rules.snapshot() != reference:
+            for rule in reference:
+                participant.rules.insert(
+                    rule.effective_time, rule.offset, rule.tenants
+                )
+                delivered += 1
+        if delivered:
+            self._catchup_counter.inc(delivered)
+        return delivered
+
+    def catch_up_all(self) -> int:
+        """Catch up every reachable participant; returns total deliveries."""
+        return sum(self.catch_up(p) for p in self.participants)

@@ -74,3 +74,7 @@ class ReplicationError(EsdbError):
 
 class SimulationError(EsdbError):
     """The discrete-event simulator was driven into an invalid state."""
+
+
+class FaultInjectionError(EsdbError):
+    """A fault could not be injected or recovered (bad kind or target)."""

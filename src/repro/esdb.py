@@ -38,6 +38,7 @@ from repro.obsv import runtime as obsv_runtime
 from repro.obsv.cat import (
     CatTable,
     cat_caches,
+    cat_faults,
     cat_nodes,
     cat_rules,
     cat_shards,
@@ -244,6 +245,8 @@ class ESDB:
             )
         self._doc_shard: dict[object, int] = {}
         self._clock = 0.0
+        #: Lazily created FaultInjector (see :meth:`inject_fault`).
+        self.faults = None
         self._subattr_frequencies = FrequencyTracker()
         self.replica_sets: dict[int, ReplicaSet] = {}
         if self.config.replication is not None:
@@ -367,16 +370,18 @@ class ESDB:
     def fail_primary(self, shard_id: int) -> None:
         """Simulate the loss of a shard's primary: promote the most
         up-to-date replica (segments + translog replay) and swap it in as
-        the serving engine. The shard continues without its replica copies
-        until a new set is seeded (operator action, as in §4.3's manual
-        fault-handling)."""
+        the serving engine. Remaining replicas are re-homed onto the
+        promoted primary and keep replicating; with no copies left the
+        shard continues unreplicated until a new set is seeded (operator
+        action, as in §4.3's manual fault-handling)."""
         replica_set = self.replica_sets.get(shard_id)
         if replica_set is None:
             raise EsdbError(f"shard {shard_id} has no replica set")
         promoted = replica_set.promote()
         promoted.refresh()
         self.engines[shard_id] = promoted
-        del self.replica_sets[shard_id]
+        if not replica_set.replicators:
+            del self.replica_sets[shard_id]
         # The shard's engine object (and its generation counter) changed:
         # drop every cached read that might reference the old primary.
         if self.request_cache is not None:
@@ -384,6 +389,25 @@ class ESDB:
             self.request_cache.attach(promoted)
         if self.result_cache is not None:
             self.result_cache.clear()
+
+    # -- fault injection (repro.faults) ----------------------------------------
+    def inject_fault(self, kind: str, target: object = None, **params) -> str:
+        """Inject one fault (see :data:`repro.faults.FAULT_KINDS`) and
+        return a human-readable detail string. The injector is created on
+        first use, so an instance that never injects pays nothing."""
+        from repro.faults import FaultInjector
+
+        if self.faults is None:
+            self.faults = FaultInjector(self)
+        return self.faults.inject(kind, target, **params)
+
+    def recover(self, kind: str | None = None, target: object = None) -> int:
+        """Recover active injected faults matching *kind*/*target* (both
+        None = everything), running consensus catch-up where the fault
+        kind requires it. Returns the number of faults lifted."""
+        if self.faults is None:
+            return 0
+        return self.faults.recover(kind, target)
 
     # -- balancing --------------------------------------------------------------
     def rebalance(self) -> list[tuple[object, int, float]]:
@@ -676,6 +700,11 @@ class ESDB:
     def cat_caches(self) -> CatTable:
         """Per-level query-cache statistics."""
         return cat_caches(self)
+
+    def cat_faults(self) -> CatTable:
+        """Fault-injection history: every inject/recover action with its
+        current status (``active`` while un-recovered)."""
+        return cat_faults(self)
 
     def cat_timeseries(self, k: int | None = None) -> CatTable:
         """Performance history: one row per recorded time series with a

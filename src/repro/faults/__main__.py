@@ -1,0 +1,114 @@
+"""``python -m repro.faults`` — run a seeded chaos scenario.
+
+Generates (or hand-assembles, with ``--scenario failover``) a fault plan,
+drives it through a :class:`~repro.faults.runner.ChaosRunner`, prints the
+plan, the fault log and the invariant report, and exits non-zero when any
+post-recovery invariant is violated — the same contract the CI chaos-smoke
+step relies on. ``--check-determinism`` runs the scenario twice and
+verifies the two report fingerprints are identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def build_failover_plan(seed: int, steps: int, num_shards: int):
+    """The canonical scenario: crash a primary mid-workload (forcing a
+    replica promotion), crash + recover a node around it, and blackhole
+    client dispatch long enough to exercise retry + dead-lettering."""
+    from repro.faults import FaultPlan
+
+    shard = seed % num_shards
+    plan = FaultPlan(seed=seed)
+    plan.add(steps // 5, "blackhole_dispatch", (shard + 1) % num_shards)
+    plan.add(steps // 3, "crash_node", 1)
+    plan.add(steps // 2, "crash_primary", shard)
+    plan.add(steps // 2 + steps // 10, "corrupt_translog", (shard + 2) % num_shards)
+    plan.add(2 * steps // 3, "crash_node", 1, recover=True)
+    plan.add(3 * steps // 4, "blackhole_dispatch", (shard + 1) % num_shards,
+             recover=True)
+    return plan
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults",
+        description="Run a deterministic chaos scenario and check recovery invariants.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="plan + workload seed")
+    parser.add_argument("--steps", type=int, default=400,
+                        help="workload steps (default: 400)")
+    parser.add_argument("--nodes", type=int, default=3, help="cluster nodes")
+    parser.add_argument("--shards", type=int, default=8, help="shard count")
+    parser.add_argument("--replicas", type=int, default=2, help="replicas per shard")
+    parser.add_argument(
+        "--scenario", choices=("failover", "random"), default="failover",
+        help="'failover' = the canonical crash-primary scenario; "
+             "'random' = a seed-generated schedule",
+    )
+    parser.add_argument(
+        "--intensity", type=float, default=1.0,
+        help="fraction of fault classes a random plan fires (default: 1.0)",
+    )
+    parser.add_argument(
+        "--check-determinism", action="store_true",
+        help="run the scenario twice and require identical report fingerprints",
+    )
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the plan and fault log, print only the report")
+    return parser
+
+
+def _run(args):
+    from repro.faults import ChaosConfig, ChaosRunner, FaultPlan
+
+    if args.scenario == "random":
+        plan = FaultPlan.random(
+            args.seed, args.steps, args.nodes, args.shards, intensity=args.intensity
+        )
+    else:
+        plan = build_failover_plan(args.seed, args.steps, args.shards)
+    runner = ChaosRunner(
+        plan,
+        ChaosConfig(
+            steps=args.steps,
+            num_nodes=args.nodes,
+            num_shards=args.shards,
+            replicas_per_shard=args.replicas,
+        ),
+    )
+    report = runner.run()
+    return plan, runner, report
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.steps < 10:
+        parser.error("--steps must be >= 10")
+    if args.replicas < 1:
+        parser.error("--replicas must be >= 1 (chaos needs something to fail over to)")
+
+    plan, runner, report = _run(args)
+    if not args.quiet:
+        print(plan.describe())
+        print()
+        print(runner.db.cat_faults().render())
+        print()
+    print(report.render())
+
+    if args.check_determinism:
+        _, _, second = _run(args)
+        if second.fingerprint() != report.fingerprint():
+            print("!! determinism check FAILED: fingerprints differ")
+            print(f"   first:  {report.fingerprint()}")
+            print(f"   second: {second.fingerprint()}")
+            return 1
+        print(f"determinism check ok: {report.fingerprint()}")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

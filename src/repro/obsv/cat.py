@@ -263,3 +263,25 @@ def cat_caches(db) -> CatTable:
         ("level", "enabled", "hits", "misses", "hit_pct", "evictions", "bytes"),
         rows,
     )
+
+
+def cat_faults(db) -> CatTable:
+    """One row per fault-injection action (inject / recover / skip), in
+    chronological order, plus the set of currently active faults.
+
+    Reads the :class:`~repro.faults.injector.FaultInjector` the facade
+    lazily attaches as ``db.faults``; an instance that never injected a
+    fault yields an empty, well-formed table.
+    """
+    injector = getattr(db, "faults", None)
+    rows = []
+    if injector is not None:
+        active = {(fault.kind, fault.target) for fault in injector.active_faults()}
+        for at, action, kind, target, detail in injector.log:
+            status = (
+                "active"
+                if action == "inject" and (kind, target) in active
+                else action
+            )
+            rows.append((round(at, 3), status, kind, str(target), detail))
+    return CatTable("faults", ("at", "status", "kind", "target", "detail"), rows)

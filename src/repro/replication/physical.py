@@ -208,10 +208,31 @@ class PhysicalReplicator:
     def was_prereplicated(self, segment_id: int) -> bool:
         return segment_id in self._prereplicated
 
+    def valid_translog_prefix(self) -> int:
+        """Length of the leading run of translog entries passing their
+        checksum. Entries after the first corrupt record cannot be trusted
+        (ordering is lost), so failover replays only this prefix."""
+        for index, entry in enumerate(self.replica_translog):
+            if not entry.verify():
+                return index
+        return len(self.replica_translog)
+
     def promote_replica(self) -> ShardEngine:
         """Primary/replica switch: build a serving engine from the replica's
-        segments + translog replay of unflushed operations."""
-        engine = ShardEngine(self.primary.config, shard_id=self.primary.shard_id)
+        segments + translog replay of unflushed operations.
+
+        Replay must not assume "doc present in a segment" means "entry
+        already applied": an unflushed ``update`` (or re-``index``) of a doc
+        that already shipped inside a segment carries newer state than the
+        segment copy. Entries whose effect is already visible are skipped;
+        everything else is re-applied with the matching engine operation.
+        Corrupt entries end the replayable prefix (counted in telemetry).
+        """
+        engine = ShardEngine(
+            self.primary.config,
+            shard_id=self.primary.shard_id,
+            telemetry=self.telemetry,
+        )
         engine.segments = [
             self.replica_segments[sid] for sid in sorted(self.replica_segments)
         ]
@@ -219,9 +240,44 @@ class PhysicalReplicator:
         engine._doc_locations = {
             doc.doc_id: row for row, doc in engine.iter_documents()
         }
-        for entry in self.replica_translog:
-            if entry.op in ("index", "update") and not engine.contains(entry.doc_id):
-                engine.index(dict(entry.source or {}))
+        valid = self.valid_translog_prefix()
+        skipped = len(self.replica_translog) - valid
+        if skipped:
+            self.telemetry.metrics.counter(
+                "replication_translog_skipped_total",
+                shard=str(self.primary.shard_id),
+            ).inc(skipped)
+        for entry in self.replica_translog[:valid]:
+            source = dict(entry.source or {})
+            if entry.op == "index":
+                if not engine.contains(entry.doc_id) or engine.get(
+                    entry.doc_id
+                ).source != source:
+                    engine.index(source)
+            elif entry.op == "update":
+                if not engine.contains(entry.doc_id):
+                    engine.index(source)
+                elif engine.get(entry.doc_id).source != source:
+                    # Translog updates carry the full merged source, so the
+                    # update is idempotent when re-applied over segment state.
+                    engine.update(entry.doc_id, source)
             elif entry.op == "delete" and engine.contains(entry.doc_id):
                 engine.delete(entry.doc_id)
         return engine
+
+    def rehome(self, new_primary: ShardEngine) -> None:
+        """Re-attach this replica to a freshly promoted primary (failover).
+
+        The promoted engine's sealed segments and translog are the new
+        authoritative epoch: pending ship queues from the dead primary are
+        dropped (the next round's segment diff reconciles the replica
+        against the new primary's segment list) and the replica's translog
+        is re-seeded from the new primary so a second failover replays the
+        new epoch, not the old one.
+        """
+        self.primary = new_primary
+        new_primary.on_refresh(self._on_primary_refresh)
+        new_primary.on_merge(self._on_primary_merge)
+        self._pending_refreshed = []
+        self._pending_merged = []
+        self.replica_translog = list(new_primary.translog._entries)

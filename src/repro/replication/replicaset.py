@@ -33,11 +33,15 @@ class ReplicaSet:
     """A primary shard engine plus N physical replicas."""
 
     def __init__(self, primary: ShardEngine, num_replicas: int = 1,
-                 network_seconds_per_byte: float = 0.0, telemetry=None) -> None:
+                 network_seconds_per_byte: float = 0.0, telemetry=None,
+                 replicate_retries: int = 2) -> None:
         if num_replicas < 1:
             raise ReplicationError("a replica set needs at least one replica")
+        if replicate_retries < 0:
+            raise ReplicationError("replicate_retries must be >= 0")
         self.primary = primary
         self.telemetry = telemetry
+        self.replicate_retries = replicate_retries
         self.replicators: dict[str, PhysicalReplicator] = {}
         for index in range(num_replicas):
             name = f"replica-{index}"
@@ -75,14 +79,35 @@ class ReplicaSet:
     def replicate_all(self, now: float | None = None) -> int:
         """Run one quick incremental round on every replica; returns how
         many replicas finished in sync. A replica that raises keeps the
-        others replicating (slow/faulty replicas must not block the set)."""
+        others replicating (slow/faulty replicas must not block the set).
+
+        A failed round is retried up to ``replicate_retries`` times with an
+        exponentially growing (simulated) backoff added to the replica's
+        clock: a retry rebuilds the snapshot from scratch, which resolves
+        the common transient where a segment the previous snapshot named
+        was merged away mid-round.
+        """
         synced = 0
         errors: list[str] = []
+        retry_counter = (
+            self.telemetry.metrics.counter("replication_retries_total")
+            if self.telemetry is not None
+            else None
+        )
         for name, replicator in self.replicators.items():
-            try:
-                replicator.replicate(now)
-            except ReplicationError as exc:
-                errors.append(f"{name}: {exc}")
+            last_error: ReplicationError | None = None
+            for attempt in range(1 + self.replicate_retries):
+                if attempt and retry_counter is not None:
+                    retry_counter.inc()
+                try:
+                    backoff = 0.01 * (2 ** attempt - 1)
+                    replicator.replicate(None if now is None else now + backoff)
+                    last_error = None
+                    break
+                except ReplicationError as exc:
+                    last_error = exc
+            if last_error is not None:
+                errors.append(f"{name}: {last_error}")
                 continue
             if replicator.in_sync():
                 synced += 1
@@ -112,16 +137,32 @@ class ReplicaSet:
     def promote(self, name: str | None = None) -> ShardEngine:
         """Promote a replica to primary (primary/replica switch).
 
-        Picks the most up-to-date replica (longest translog) when *name* is
-        omitted — the election rule that minimizes data loss.
+        Picks the most up-to-date replica (longest *valid* translog prefix —
+        a corrupted log must not win the election) when *name* is omitted,
+        then **rewires the set**: the promoted engine becomes
+        :attr:`primary`, the promoted copy leaves :attr:`replicators`, and
+        every remaining replica is re-homed onto the new primary so
+        subsequent :meth:`index`/:meth:`update`/:meth:`delete` calls and
+        replication rounds target the live engine, not the dead one.
         """
         if not self.replicators:
             raise ReplicationError("no replicas to promote")
         if name is None:
             name = max(
                 self.replicators,
-                key=lambda n: len(self.replicators[n].replica_translog),
+                key=lambda n: (
+                    self.replicators[n].valid_translog_prefix(),
+                    # Tie-break deterministically on the lowest index.
+                    -int(n.rsplit("-", 1)[-1]) if n.rsplit("-", 1)[-1].isdigit() else 0,
+                ),
             )
         if name not in self.replicators:
             raise ReplicationError(f"unknown replica {name!r}")
-        return self.replicators[name].promote_replica()
+        promoted = self.replicators.pop(name).promote_replica()
+        # Seal the replayed operations so the re-homed replicas can receive
+        # them as segments in the next replication round.
+        promoted.refresh()
+        self.primary = promoted
+        for replicator in self.replicators.values():
+            replicator.rehome(promoted)
+        return promoted

@@ -43,7 +43,14 @@ class TranslogEntry:
 
 
 def _checksum(sequence: int, op: str, doc_id: object, source: Mapping[str, Any] | None) -> int:
-    payload = f"{sequence}|{op}|{doc_id!r}|{sorted(source.items()) if source else None!r}"
+    # Canonicalize by repr of the key: plain ``sorted(source.items())``
+    # raises TypeError for sources with mixed-type keys (e.g. int and str),
+    # which would make a perfectly valid write unloggable.
+    if source:
+        items = sorted(source.items(), key=lambda item: repr(item[0]))
+    else:
+        items = None
+    payload = f"{sequence}|{op}|{doc_id!r}|{items!r}"
     return zlib.crc32(payload.encode("utf-8"))
 
 

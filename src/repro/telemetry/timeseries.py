@@ -452,6 +452,16 @@ def install_esdb_derivations(store: TimeSeriesStore) -> TimeSeriesStore:
         HitRatio("esdb.cache_hit_pct", "cache_hits_total", "cache_misses_total")
     )
     store.add_derivation(LabelSpread("esdb.shard_writes", "esdb_writes_total"))
+    # Chaos/faults series: these counters only exist once a FaultInjector
+    # or a retrying WriteClient runs, so ordinary instances emit nothing.
+    store.add_derivation(CounterRate("faults.injected_per_s", "faults_injected_total"))
+    store.add_derivation(CounterRate("faults.recovered_per_s", "faults_recovered_total"))
+    store.add_derivation(
+        CounterRate("faults.client_retries_per_s", "write_client_retries_total")
+    )
+    store.add_derivation(
+        CounterRate("faults.dead_letters_per_s", "write_client_dead_letters_total")
+    )
     return store
 
 
@@ -464,4 +474,6 @@ DASHBOARD_SERIES = (
     ("cache hit %", "esdb.cache_hit_pct"),
     ("hot shard max", "esdb.shard_writes.max"),
     ("hot shard mean", "esdb.shard_writes.mean"),
+    ("faults/s", "faults.injected_per_s"),
+    ("recoveries/s", "faults.recovered_per_s"),
 )

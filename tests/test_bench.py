@@ -31,6 +31,7 @@ QUICK_SET = [
     "query.cache.warm",
     "storage.index",
     "sim.write_static",
+    "chaos.crash_failover",
 ]
 
 

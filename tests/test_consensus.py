@@ -169,3 +169,130 @@ class TestConfigValidation:
     def test_invalid_interval_rejected(self):
         with pytest.raises(ConfigurationError):
             ConsensusConfig(effective_interval=0)
+
+
+class TestHealTimeCatchUp:
+    """Regression tests: a participant that accepted a prepare and missed
+    the decision used to stay blocked forever (``blocked_after`` kept) and
+    to silently overwrite its in-flight ``_pending`` on the next prepare."""
+
+    def _crash_between_prepare_and_commit(self, master, participants, index=2):
+        original_on_prepare = participants[index].on_prepare
+
+        def prepare_then_crash(message):
+            reply = original_on_prepare(message)
+            participants[index].crash()
+            return reply
+
+        participants[index].on_prepare = prepare_then_crash
+        outcome = master.propose(PROPOSAL, 0.0)
+        participants[index].on_prepare = original_on_prepare
+        return outcome
+
+    def test_catch_up_resolves_dangling_pending(self):
+        master, participants = make_cluster()
+        outcome = self._crash_between_prepare_and_commit(master, participants)
+        assert outcome.committed
+        p2 = participants[2]
+        assert p2.pending_round() == outcome.round_id
+        assert p2.blocked_after is not None
+
+        p2.recover()
+        delivered = master.catch_up(p2)
+        assert delivered >= 1
+        assert p2.pending_round() is None
+        assert p2.blocked_after is None
+        assert p2.rules.snapshot() == master.rules.snapshot()
+        # The previously-held workload flows again.
+        assert p2.execute_write(outcome.effective_time + 100)
+
+    def test_catch_up_unreachable_participant_is_noop(self):
+        master, participants = make_cluster()
+        self._crash_between_prepare_and_commit(master, participants)
+        assert master.catch_up(participants[2]) == 0
+        assert participants[2].pending_round() is not None
+
+    def test_catch_up_fills_missed_committed_rules(self):
+        # A node that joins (or rejoins) with no dangling prepare but an
+        # empty rule list gets the committed history backfilled.
+        master, participants = make_cluster()
+        master.propose(PROPOSAL, 0.0)
+        master.propose(RuleProposal("c0", "hot2", 16), 20.0)
+        late = Participant("p-late", ClockModel())
+        master.participants.append(late)
+        assert master.catch_up(late) == 2
+        assert late.rules.snapshot() == master.rules.snapshot()
+
+    def test_catch_up_all_heals_every_reachable_node(self):
+        master, participants = make_cluster()
+        self._crash_between_prepare_and_commit(master, participants)
+        participants[2].recover()
+        assert master.catch_up_all() >= 1
+        for p in participants:
+            assert p.pending_round() is None
+            assert p.blocked_after is None
+            assert p.rules.snapshot() == master.rules.snapshot()
+
+    def test_catch_up_is_idempotent(self):
+        master, participants = make_cluster()
+        self._crash_between_prepare_and_commit(master, participants)
+        participants[2].recover()
+        master.catch_up(participants[2])
+        assert master.catch_up(participants[2]) == 0
+
+    def test_prepare_rejected_while_other_round_pending(self):
+        """A new round's prepare must not clobber an in-flight ``_pending``
+        from a round whose decision this node missed."""
+        master, participants = make_cluster()
+        outcome = self._crash_between_prepare_and_commit(master, participants)
+        p2 = participants[2]
+        p2.recover()  # reachable again, but not yet caught up
+
+        with pytest.raises(ConsensusAborted, match="still in flight"):
+            master.propose(RuleProposal("c0", "hot2", 16), 30.0)
+        # The dangling round survived the rejected prepare.
+        assert p2.pending_round() == outcome.round_id
+
+        master.catch_up(p2)
+        next_outcome = master.propose(RuleProposal("c0", "hot2", 16), 30.0)
+        assert next_outcome.committed
+        assert p2.rules.snapshot() == master.rules.snapshot()
+
+    def test_reprepare_of_same_round_still_accepted(self):
+        master, participants = make_cluster()
+        p0 = participants[0]
+        from repro.consensus.protocol import PrepareMessage
+
+        message = PrepareMessage(
+            round_id=7, proposal=PROPOSAL, effective_time=50.0
+        )
+        first = p0.on_prepare(message)
+        assert first.accepted
+        # A duplicate prepare for the *same* round (master retry) is fine.
+        again = p0.on_prepare(message)
+        assert again.accepted
+
+    def test_catch_up_counts_deliveries_in_telemetry(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry()
+        participants = [Participant(f"p{i}", ClockModel()) for i in range(3)]
+        master = ConsensusMaster(
+            participants,
+            ConsensusConfig(effective_interval=5.0),
+            telemetry=telemetry,
+        )
+        original_on_prepare = participants[2].on_prepare
+
+        def prepare_then_crash(message):
+            reply = original_on_prepare(message)
+            participants[2].crash()
+            return reply
+
+        participants[2].on_prepare = prepare_then_crash
+        master.propose(PROPOSAL, 0.0)
+        participants[2].on_prepare = original_on_prepare
+        participants[2].recover()
+        master.catch_up(participants[2])
+        counter = telemetry.metrics.get("consensus_catchup_deliveries_total")
+        assert counter is not None and counter.value >= 1

@@ -60,6 +60,22 @@ class TestTranslog:
         assert log.truncate_before_flush() == 3
         assert len(log) == 2
 
+    def test_checksum_handles_mixed_type_keys(self):
+        # Regression: sorted(source.items()) raised TypeError when a source
+        # mixed key types (int-keyed sub-ids next to str fields); checksums
+        # now canonicalize by repr of the key.
+        log = Translog()
+        source = {"tenant": "t1", 7: "int-keyed", (1, 2): "tuple-keyed"}
+        entry = log.append("index", 1, source)
+        assert entry.verify()
+        assert [e.doc_id for e in log.recover()] == [1]
+
+    def test_checksum_mixed_keys_is_order_independent(self):
+        log_a, log_b = Translog(), Translog()
+        a = log_a.append("index", 1, {7: "x", "b": 1})
+        b = log_b.append("index", 1, {"b": 1, 7: "x"})
+        assert a.checksum == b.checksum
+
     def test_replica_sync_requires_order(self):
         primary = Translog()
         replica = Translog()

@@ -272,3 +272,153 @@ class TestReplicaSet:
         promoted = rs.promote()
         promoted.refresh()
         assert not promoted.contains(1)
+
+
+class TestFailoverRegressions:
+    """Regression tests for the failover bugs surfaced by chaos testing."""
+
+    def _synced_pair(self, engine_config, docs=3):
+        primary = ShardEngine(engine_config)
+        repl = PhysicalReplicator(primary)
+        for i in range(docs):
+            primary.index(make_log(i, tenant="t", status=0))
+            repl.sync_translog_entry(primary.translog._entries[-1])
+        primary.refresh()
+        repl.replicate()
+        return primary, repl
+
+    def test_promote_replays_update_to_doc_in_shipped_segment(self, engine_config):
+        """An unflushed ``update`` to a doc that already shipped inside a
+        segment must survive failover — the replayed update carries newer
+        state than the segment copy and used to be silently dropped."""
+        primary, repl = self._synced_pair(engine_config)
+        primary.update(1, {"status": 9})
+        repl.sync_translog_entry(primary.translog._entries[-1])
+        promoted = repl.promote_replica()
+        promoted.refresh()
+        assert promoted.get(1).get("status") == 9
+
+    def test_promote_replays_reindex_of_shipped_doc(self, engine_config):
+        primary, repl = self._synced_pair(engine_config)
+        primary.index(make_log(2, tenant="t", status=7))  # replace doc 2
+        repl.sync_translog_entry(primary.translog._entries[-1])
+        promoted = repl.promote_replica()
+        promoted.refresh()
+        assert promoted.get(2).get("status") == 7
+        assert promoted.doc_count() == 3
+
+    def test_promote_replay_is_idempotent_for_shipped_docs(self, engine_config):
+        primary, repl = self._synced_pair(engine_config, docs=4)
+        promoted = repl.promote_replica()
+        promoted.refresh()
+        assert promoted.doc_count() == 4
+        assert {doc.doc_id for _, doc in promoted.iter_documents()} == {0, 1, 2, 3}
+
+    def test_replicaset_promote_rewires_the_set(self, engine_config):
+        """After promote(), the set's primary must be the promoted engine,
+        the promoted copy must leave the replicator map, and remaining
+        replicas must follow the *new* primary — a write after failover
+        used to land on the dead engine."""
+        from repro.replication import ReplicaSet
+
+        rs = ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=2)
+        for i in range(4):
+            rs.index(make_log(i))
+        rs.primary.refresh()
+        rs.replicate_all()
+        old_primary = rs.primary
+        promoted = rs.promote()
+        assert rs.primary is promoted
+        assert promoted is not old_primary
+        assert len(rs.replicators) == 1
+        for replicator in rs.replicators.values():
+            assert replicator.primary is promoted
+        # Write after failover: reaches the new primary, not the dead one.
+        rs.index(make_log(99))
+        assert promoted.contains(99)
+        assert not old_primary.contains(99)
+        rs.primary.refresh()
+        assert rs.replicate_all() == 1
+        for replicator in rs.replicators.values():
+            assert replicator.in_sync()
+
+    def test_second_failover_after_rewire(self, engine_config):
+        from repro.replication import ReplicaSet
+
+        rs = ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=2)
+        for i in range(3):
+            rs.index(make_log(i))
+        rs.primary.refresh()
+        rs.replicate_all()
+        rs.promote()
+        rs.index(make_log(50))
+        rs.primary.refresh()
+        rs.replicate_all()
+        second = rs.promote()
+        second.refresh()
+        assert rs.primary is second
+        assert second.contains(50)
+        assert not rs.replicators
+
+    def test_promote_election_skips_corrupted_translog(self, engine_config):
+        """A replica whose translog tail is corrupted must lose the
+        election to a clean one, so no acknowledged write is lost."""
+        from repro.storage.translog import TranslogEntry
+        from repro.replication import ReplicaSet
+
+        rs = ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=2)
+        for i in range(5):
+            rs.index(make_log(i, tenant="t"))
+        # Corrupt replica-0's copy of the last two entries (copies only:
+        # the entry objects are shared with the primary's translog).
+        log = rs.replicators["replica-0"].replica_translog
+        for index in (len(log) - 2, len(log) - 1):
+            entry = log[index]
+            log[index] = TranslogEntry(
+                entry.sequence, entry.op, entry.doc_id, entry.source,
+                entry.checksum ^ 0xFF,
+            )
+        assert rs.replicators["replica-0"].valid_translog_prefix() == 3
+        assert rs.replicators["replica-1"].valid_translog_prefix() == 5
+        promoted = rs.promote()
+        promoted.refresh()
+        assert promoted.doc_count() == 5
+        assert promoted.contains(4)
+
+    def test_replicate_all_retries_transient_failures(self, engine_config):
+        from repro.errors import ReplicationError
+        from repro.replication import ReplicaSet
+
+        rs = ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=1,
+                        replicate_retries=2)
+        rs.index(make_log(1))
+        rs.primary.refresh()
+        replicator = rs.replicators["replica-0"]
+        original = replicator.replicate
+        calls = {"n": 0}
+
+        def flaky(now=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ReplicationError("transient")
+            return original(now)
+
+        replicator.replicate = flaky
+        assert rs.replicate_all() == 1
+        assert calls["n"] == 2
+
+    def test_replicate_all_raises_after_retries_exhausted(self, engine_config):
+        from repro.errors import ReplicationError
+        from repro.replication import ReplicaSet
+
+        rs = ReplicaSet(ShardEngine(engine_config, shard_id=0), num_replicas=1,
+                        replicate_retries=1)
+        rs.index(make_log(1))
+        rs.primary.refresh()
+
+        def always_fails(now=None):
+            raise ReplicationError("permanently down")
+
+        rs.replicators["replica-0"].replicate = always_fails
+        with pytest.raises(ReplicationError, match="permanently down"):
+            rs.replicate_all()
