@@ -21,7 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Mapping
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, TenantThrottledError
 from repro.routing import RoutingPolicy
 from repro.telemetry.metrics import exponential_buckets
 from repro.telemetry.runtime import NULL_TELEMETRY
@@ -102,7 +102,13 @@ class WriteClient:
         self._hotspot_queue: OrderedDict = OrderedDict()
         self._hotspots: set = set(self.config.hotspot_tenants_hint)
         self.dead_letters: list[PendingWrite] = []
-        self.stats = {"queued": 0, "isolated": 0, "coalesced": 0, "dispatched": 0}
+        self.stats = {
+            "queued": 0,
+            "isolated": 0,
+            "coalesced": 0,
+            "dispatched": 0,
+            "throttled": 0,
+        }
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         metrics = self.telemetry.metrics
         self._decision_counters = {
@@ -119,6 +125,7 @@ class WriteClient:
         self._dispatched_counter = metrics.counter("write_client_dispatched_total")
         self._retry_counter = metrics.counter("write_client_retries_total")
         self._dead_letter_counter = metrics.counter("write_client_dead_letters_total")
+        self._throttled_counter = metrics.counter("write_client_throttled_total")
         self._batch_histogram = metrics.histogram(
             "write_client_batch_size", buckets=exponential_buckets(1, 2, 10)
         )
@@ -207,13 +214,31 @@ class WriteClient:
         for pending in queue.values():
             by_shard.setdefault(pending.shard_id, []).append(pending)
         queue.clear()
+        chunks = [
+            (shard_id, pendings[start : start + self.config.batch_size])
+            for shard_id, pendings in by_shard.items()
+            for start in range(0, len(pendings), self.config.batch_size)
+        ]
         sent = 0
-        for shard_id, pendings in by_shard.items():
-            for start in range(0, len(pendings), self.config.batch_size):
-                batch = pendings[start : start + self.config.batch_size]
-                if self._dispatch_with_retry(shard_id, batch):
-                    self._batch_histogram.observe(len(batch))
-                    sent += len(batch)
+        for index, (shard_id, batch) in enumerate(chunks):
+            try:
+                dispatched = self._dispatch_with_retry(shard_id, batch)
+            except TenantThrottledError:
+                # Admission control rejected the batch: that is backpressure,
+                # not a fault. Put the throttled batch and everything not yet
+                # dispatched back in the queue and surface the rejection to
+                # the caller, who owns the retry_after decision.
+                for _, rest in chunks[index:]:
+                    for pending in rest:
+                        queue[(pending.tenant_id, pending.doc_id)] = pending
+                self.stats["dispatched"] += sent
+                self._dispatched_counter.inc(sent)
+                self.stats["throttled"] += 1
+                self._throttled_counter.inc()
+                raise
+            if dispatched:
+                self._batch_histogram.observe(len(batch))
+                sent += len(batch)
         self.stats["dispatched"] += sent
         self._dispatched_counter.inc(sent)
         return sent
@@ -225,6 +250,12 @@ class WriteClient:
         :attr:`dead_letters` instead of raising, so one unreachable shard
         never wedges the flush of every other shard's work. Dead letters can
         be re-driven once the fault heals via :meth:`redrive_dead_letters`.
+
+        :class:`~repro.errors.TenantThrottledError` is the exception: a
+        throttle is a deliberate admission-control decision, so it is
+        neither retried (hammering a rate limit only extends the backlog)
+        nor dead-lettered (the write is not lost, the caller must back off
+        for ``retry_after``) — it propagates to the caller.
         """
         sources = [pending.source for pending in batch]
         for attempt in range(1 + self.config.dispatch_retries):
@@ -236,6 +267,8 @@ class WriteClient:
             try:
                 self.dispatch(shard_id, sources)
                 return True
+            except TenantThrottledError:
+                raise
             except Exception:
                 continue
         self.dead_letters.extend(batch)

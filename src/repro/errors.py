@@ -78,3 +78,39 @@ class SimulationError(EsdbError):
 
 class FaultInjectionError(EsdbError):
     """A fault could not be injected or recovered (bad kind or target)."""
+
+
+class TenantThrottledError(EsdbError):
+    """An operation was rejected by multi-tenant admission control.
+
+    Carries enough structure for a client to back off correctly:
+
+    Attributes:
+        tenant: the tenant whose operation was rejected.
+        op: ``"write"`` or ``"query"``.
+        budget: the violated budget — a rate (``writes_per_s`` /
+            ``queries_per_s``), a quota (``quota:indexed_bytes`` /
+            ``quota:result_bytes`` / ``quota:scanned_docs``) or the shared
+            admission queue (``queue``).
+        retry_after: logical seconds until the budget frees up (0.0 when
+            unknown); a well-behaved client waits at least this long.
+        qos: the tenant's QoS class at rejection time.
+    """
+
+    def __init__(
+        self,
+        tenant: object,
+        op: str,
+        budget: str,
+        retry_after: float,
+        qos: str = "standard",
+    ) -> None:
+        super().__init__(
+            f"tenant {tenant!r} {op} rejected: {budget} exhausted "
+            f"(qos={qos}, retry after {retry_after:.3f}s)"
+        )
+        self.tenant = tenant
+        self.op = op
+        self.budget = budget
+        self.retry_after = retry_after
+        self.qos = qos

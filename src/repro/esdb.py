@@ -69,6 +69,12 @@ from repro.routing import (
 )
 from repro.storage import EngineConfig, Schema, ShardEngine
 from repro.telemetry import NULL_TELEMETRY, Span, Telemetry, Tracer
+from repro.tenancy import (
+    TenancyConfig,
+    TenantGovernor,
+    cat_tenant_governance,
+    doc_bytes,
+)
 from repro.telemetry.runtime import default_telemetry
 from repro.telemetry.timeseries import (
     DASHBOARD_SERIES,
@@ -124,6 +130,12 @@ class EsdbConfig:
             the dashboard sparklines and ``cat_timeseries``. Disabling it
             removes the store; the write path then pays one ``is not
             None`` check.
+        tenancy: multi-tenant resource governance (:mod:`repro.tenancy`):
+            per-tenant token-bucket rate limits, QoS classes with a
+            weighted admission queue, tumbling byte/operation quotas, and
+            backpressure with structured shed-load errors. Disabled by
+            default — the instance then builds no governor and every path
+            is byte-identical to an ungoverned instance.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -142,6 +154,7 @@ class EsdbConfig:
     timeseries_enabled: bool = True
     timeseries_interval: float = 1.0
     timeseries_capacity: int = 240
+    tenancy: TenancyConfig = field(default_factory=TenancyConfig)
 
 
 class ESDB:
@@ -243,6 +256,16 @@ class ESDB:
                     capacity=self.config.timeseries_capacity,
                 )
             )
+        self.governor: TenantGovernor | None = None
+        #: sql text -> target tenant, memoized for admission (the tenant of a
+        #: SQL string is a pure function of the text, so repeat queries —
+        #: the result-cache hot path — skip the probe parse entirely).
+        self._query_tenant_cache: dict[str, object] = {}
+        if self.config.tenancy.enabled:
+            self.governor = TenantGovernor(
+                self.config.tenancy,
+                metrics=self.telemetry.metrics if self.telemetry.enabled else None,
+            )
         self._doc_shard: dict[object, int] = {}
         self._clock = 0.0
         #: Lazily created FaultInjector (see :meth:`inject_fault`).
@@ -280,6 +303,10 @@ class ESDB:
         Traced client → router (rule-list lookup) → shard engine; the shard
         id and routing policy land in the span tags, and per-shard write
         counters plus a latency histogram land in the metrics registry.
+
+        With governance enabled (``EsdbConfig.tenancy``), the write first
+        passes tenant admission control and may raise
+        :class:`~repro.errors.TenantThrottledError` instead of indexing.
         """
         telemetry = self.telemetry
         tracer = telemetry.tracer
@@ -289,6 +316,16 @@ class ESDB:
             doc_id = source[schema.id_field]
             created_time = float(source[schema.time_field])
             self.advance_clock(created_time)
+            if self.governor is not None:
+                # Sizing a document costs a str() per field; only pay it
+                # when an indexed-byte budget actually consumes the number.
+                self.governor.admit_write(
+                    tenant_id,
+                    self._clock,
+                    doc_bytes(source)
+                    if self.governor.config.indexed_bytes_quota is not None
+                    else 0,
+                )
             with tracer.span("write.route", policy=self.policy.name):
                 shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
             with tracer.span("write.index", shard=shard_id):
@@ -423,6 +460,8 @@ class ESDB:
                 # closes exactly with the monitor's balancing window, so an
                 # alert and the rule it triggers share one measurement.
                 self.obsv.roll(self._clock)
+                if self.governor is not None and self.obsv.last_alerts:
+                    self.governor.apply_alerts(self.obsv.last_alerts, self._clock)
             committed = []
             for proposal in self.balancer.rebalance():
                 try:
@@ -498,6 +537,31 @@ class ESDB:
         metrics = self.telemetry.metrics
         cache_hit = False
         shard_ids: list[int] = []
+        governor = self.governor
+        query_tenant = None
+        if governor is not None:
+            # Admission needs the target tenant before the pipeline runs.
+            # Raw SQL is parsed up front and the parse reused downstream — a
+            # governed execute_sql enters the pipeline at the rewrite stage,
+            # exactly like execute_statement (never two parses) — and the
+            # extracted tenant is memoized per SQL string so repeat queries
+            # (the result-cache hot path) skip the probe parse entirely.
+            if statement is not None:
+                query_tenant = self._statement_tenant(statement)
+            elif sql in self._query_tenant_cache:
+                query_tenant = self._query_tenant_cache[sql]
+            else:
+                try:
+                    probe = parse_sql(sql)
+                except QueryError:
+                    probe = None  # the traced parse below reports the error
+                else:
+                    statement = probe
+                query_tenant = self._statement_tenant(probe)
+                if len(self._query_tenant_cache) >= 512:
+                    self._query_tenant_cache.clear()
+                self._query_tenant_cache[sql] = query_tenant
+            governor.admit_query(query_tenant, self._clock)
         with tracer.span("query") as root:
             result_key = None
             if self.result_cache is not None:
@@ -529,6 +593,19 @@ class ESDB:
                         for shard_id in shard_ids
                     )
                     self.result_cache.put(*result_key, result, validators)
+        if governor is not None:
+            governor.charge_query(
+                query_tenant,
+                self._clock,
+                # Summing row sizes costs a str() per field; only pay it
+                # when a result-byte budget actually consumes the number.
+                result_bytes=(
+                    sum(doc_bytes(row) for row in result.rows)
+                    if governor.config.result_bytes_quota is not None
+                    else 0
+                ),
+                scanned=0 if cache_hit else result.total_hits,
+            )
         metrics.counter("esdb_queries_total").inc()
         if not cache_hit:
             metrics.counter("esdb_subqueries_total").inc(len(shard_ids))
@@ -692,6 +769,11 @@ class ESDB:
     def cat_tenants(self, k: int | None = None) -> CatTable:
         """``_cat``-style tenants table: storage, window load, shard span."""
         return cat_tenants(self, k=k)
+
+    def cat_tenant_governance(self, k: int | None = None) -> CatTable:
+        """Per-tenant governance table: QoS class and admit/queue/shed
+        counters (empty when governance is disabled)."""
+        return cat_tenant_governance(self, k=k)
 
     def cat_rules(self) -> CatTable:
         """Committed secondary hashing rules with their trigger measurements."""
@@ -857,6 +939,8 @@ class ESDB:
         sections.update(self._timeseries_report_section())
         if self.obsv is not None:
             sections.update(self.obsv.report_lines())
+        if self.governor is not None:
+            sections["tenancy"] = self.governor.report_lines()
         if isinstance(self.policy, DynamicSecondaryHashRouting):
             rules = self.policy.rules
             rule_lines = [f"routing rules: {len(rules)} committed"]

@@ -13,8 +13,14 @@ figure's qualitative shape; these harnesses are the library-level way to
 get the numbers.
 """
 
+import inspect
+
 from repro.experiments.base import ExperimentResult, Scale, registry
-from repro.experiments import query_side, write_side  # noqa: F401  (register)
+from repro.experiments import (  # noqa: F401  (register)
+    query_side,
+    tenancy_side,
+    write_side,
+)
 
 __all__ = ["ExperimentResult", "Scale", "registry", "run", "available"]
 
@@ -24,8 +30,17 @@ def available() -> list[str]:
     return sorted(registry)
 
 
-def run(figure: str, scale: str = "small") -> ExperimentResult:
-    """Run one registered experiment and return its result."""
+def run(figure: str, scale: str = "small", **options) -> ExperimentResult:
+    """Run one registered experiment and return its result.
+
+    Extra keyword *options* (e.g. ``tenancy=True``) are forwarded to
+    experiments whose signature accepts them and silently dropped for the
+    rest, so one CLI flag can target the experiments it concerns without
+    every function growing the parameter.
+    """
     if figure not in registry:
         raise KeyError(f"unknown figure {figure!r}; available: {available()}")
-    return registry[figure](Scale(scale))
+    func = registry[figure]
+    accepted = inspect.signature(func).parameters
+    kwargs = {key: value for key, value in options.items() if key in accepted}
+    return func(Scale(scale), **kwargs)

@@ -38,6 +38,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--list", action="store_true", help="list available figure ids and exit"
     )
     parser.add_argument(
+        "--tenancy",
+        action="store_true",
+        help=(
+            "enable multi-tenant governance in the experiments that support "
+            "it (the fig20 Single's-Day facade spike): the flash-sale tenant "
+            "is throttled and a per-tenant admit/shed table is printed"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         type=int,
         metavar="COLUMN",
@@ -102,7 +111,7 @@ def main(argv: list | None = None) -> int:
     try:
         for figure in figures:
             start = time.perf_counter()
-            result = run(figure, scale=args.scale)
+            result = run(figure, scale=args.scale, tenancy=args.tenancy)
             elapsed = time.perf_counter() - start
             print(result.render())
             if args.chart is not None:

@@ -32,6 +32,40 @@ def build_failover_plan(seed: int, steps: int, num_shards: int):
     return plan
 
 
+#: The tenant that floods in the noisy-neighbor scenario.
+FLOOD_TENANT = "tenant-flood"
+
+
+def build_noisy_neighbor_plan(seed: int, steps: int, num_shards: int):
+    """The noisy-neighbor scenario's (light) fault schedule: one dispatch
+    blackhole + recovery while the flood runs, so governance is exercised
+    together with — not instead of — an ordinary fault. The flood itself
+    comes from ``ChaosConfig.flood_tenant`` / ``flood_factor``."""
+    from repro.faults import FaultPlan
+
+    shard = seed % num_shards
+    plan = FaultPlan(seed=seed)
+    plan.add(steps // 4, "blackhole_dispatch", shard)
+    plan.add(steps // 2, "blackhole_dispatch", shard, recover=True)
+    return plan
+
+
+def noisy_neighbor_config(args) -> "object":
+    """The governed ChaosConfig the noisy-neighbor scenario runs with."""
+    from repro.faults import ChaosConfig
+    from repro.tenancy import TenancyConfig
+
+    return ChaosConfig(
+        steps=args.steps,
+        num_nodes=args.nodes,
+        num_shards=args.shards,
+        replicas_per_shard=args.replicas,
+        flood_tenant=FLOOD_TENANT,
+        flood_factor=args.flood_factor,
+        tenancy=None if args.no_governance else TenancyConfig.strict(),
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.faults",
@@ -44,13 +78,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--shards", type=int, default=8, help="shard count")
     parser.add_argument("--replicas", type=int, default=2, help="replicas per shard")
     parser.add_argument(
-        "--scenario", choices=("failover", "random"), default="failover",
+        "--scenario", choices=("failover", "random", "noisy-neighbor"),
+        default="failover",
         help="'failover' = the canonical crash-primary scenario; "
-             "'random' = a seed-generated schedule",
+             "'random' = a seed-generated schedule; "
+             "'noisy-neighbor' = one tenant floods a governed cluster and "
+             "must be throttled without any victim write being shed",
     )
     parser.add_argument(
         "--intensity", type=float, default=1.0,
         help="fraction of fault classes a random plan fires (default: 1.0)",
+    )
+    parser.add_argument(
+        "--flood-factor", type=int, default=20,
+        help="noisy-neighbor: extra flood-tenant writes per step (default: 20)",
+    )
+    parser.add_argument(
+        "--no-governance", action="store_true",
+        help="noisy-neighbor: run the same flood ungoverned (comparison runs; "
+             "the isolation invariant is skipped)",
     )
     parser.add_argument(
         "--check-determinism", action="store_true",
@@ -64,21 +110,24 @@ def build_parser() -> argparse.ArgumentParser:
 def _run(args):
     from repro.faults import ChaosConfig, ChaosRunner, FaultPlan
 
-    if args.scenario == "random":
-        plan = FaultPlan.random(
-            args.seed, args.steps, args.nodes, args.shards, intensity=args.intensity
-        )
+    if args.scenario == "noisy-neighbor":
+        plan = build_noisy_neighbor_plan(args.seed, args.steps, args.shards)
+        config = noisy_neighbor_config(args)
     else:
-        plan = build_failover_plan(args.seed, args.steps, args.shards)
-    runner = ChaosRunner(
-        plan,
-        ChaosConfig(
+        if args.scenario == "random":
+            plan = FaultPlan.random(
+                args.seed, args.steps, args.nodes, args.shards,
+                intensity=args.intensity,
+            )
+        else:
+            plan = build_failover_plan(args.seed, args.steps, args.shards)
+        config = ChaosConfig(
             steps=args.steps,
             num_nodes=args.nodes,
             num_shards=args.shards,
             replicas_per_shard=args.replicas,
-        ),
-    )
+        )
+    runner = ChaosRunner(plan, config)
     report = runner.run()
     return plan, runner, report
 
@@ -97,6 +146,9 @@ def main(argv=None) -> int:
         print()
         print(runner.db.cat_faults().render())
         print()
+        if runner.db.governor is not None:
+            print(runner.db.cat_tenant_governance(k=8).render())
+            print()
     print(report.render())
 
     if args.check_determinism:

@@ -32,6 +32,7 @@ from repro.errors import (
     EsdbError,
     FaultInjectionError,
     ReplicationError,
+    TenantThrottledError,
 )
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
@@ -50,6 +51,12 @@ class ChaosConfig:
         propose_every: consensus rule-proposal cadence (0 = never) — keeps
             rounds in flight so node faults actually exercise the protocol.
         time_step: logical seconds per workload step.
+        flood_tenant / flood_factor: the noisy-neighbor workload — when
+            set, every step submits ``flood_factor`` extra writes pinned to
+            ``flood_tenant`` on top of the ordinary Zipf write.
+        tenancy: a :class:`~repro.tenancy.TenancyConfig` to govern the
+            instance under chaos (None, the default, runs ungoverned and
+            keeps historical fingerprints bit-identical).
     """
 
     steps: int = 400
@@ -61,6 +68,9 @@ class ChaosConfig:
     replicate_every: int = 64
     propose_every: int = 50
     time_step: float = 0.05
+    flood_tenant: object | None = None
+    flood_factor: int = 0
+    tenancy: object | None = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -77,6 +87,10 @@ class ChaosConfig:
             raise ConfigurationError("propose_every must be >= 0")
         if self.time_step <= 0:
             raise ConfigurationError("time_step must be positive")
+        if self.flood_factor < 0:
+            raise ConfigurationError("flood_factor must be >= 0")
+        if self.flood_factor and self.flood_tenant is None:
+            raise ConfigurationError("flood_factor needs a flood_tenant")
 
 
 @dataclass
@@ -97,21 +111,36 @@ class ChaosReport:
     replicate_errors: int = 0
     shard_docs: dict = field(default_factory=dict)
     violations: list = field(default_factory=list)
+    governed: bool = False
+    writes_throttled: int = 0
+    throttled_by_tenant: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def fingerprint(self) -> str:
-        """A stable digest of the run for same-seed reproducibility checks."""
+        """A stable digest of the run for same-seed reproducibility checks.
+
+        The tenancy segment only appears on governed runs, so every
+        historical ungoverned fingerprint stays bit-identical."""
         docs = ",".join(f"{sid}:{count}" for sid, count in sorted(self.shard_docs.items()))
-        return (
+        base = (
             f"seed={self.seed} steps={self.steps} acked={self.writes_acked} "
             f"coalesced={self.writes_coalesced} redriven={self.dead_letters_redriven} "
             f"faults={self.faults_injected}/{self.faults_recovered} "
             f"consensus={self.consensus_commits}/{self.consensus_aborts} "
             f"docs=[{docs}] violations={len(self.violations)}"
         )
+        if self.governed:
+            throttled = ",".join(
+                f"{tenant}:{count}"
+                for tenant, count in sorted(
+                    self.throttled_by_tenant.items(), key=lambda kv: str(kv[0])
+                )
+            )
+            base += f" throttled={self.writes_throttled}[{throttled}]"
+        return base
 
     def render(self) -> str:
         lines = [
@@ -126,6 +155,17 @@ class ChaosReport:
             "  docs/shard: "
             + ", ".join(f"{sid}={count}" for sid, count in sorted(self.shard_docs.items())),
         ]
+        if self.governed:
+            by_tenant = ", ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(
+                    self.throttled_by_tenant.items(), key=lambda kv: str(kv[0])
+                )
+            )
+            lines.append(
+                f"  tenancy: {self.writes_throttled} write(s) throttled"
+                + (f" ({by_tenant})" if by_tenant else "")
+            )
         for violation in self.violations:
             lines.append(f"  !! {violation}")
         return "\n".join(lines)
@@ -145,6 +185,9 @@ class ChaosRunner:
         self.config = config or ChaosConfig()
         if self.config.replicas_per_shard < 1:
             raise ConfigurationError("chaos runs need at least one replica per shard")
+        esdb_kwargs = {}
+        if self.config.tenancy is not None:
+            esdb_kwargs["tenancy"] = self.config.tenancy
         self.db = ESDB(
             EsdbConfig(
                 topology=ClusterTopology(
@@ -156,6 +199,7 @@ class ChaosRunner:
                 replication="physical",
                 consensus_interval=1.0,
                 auto_refresh_every=64,
+                **esdb_kwargs,
             ),
             telemetry=telemetry,
         )
@@ -177,15 +221,32 @@ class ChaosRunner:
         )
         schema = self.db.config.schema
         self._id_field = schema.id_field
+        self._tenant_field = schema.tenant_field
         self.acked: dict[object, dict] = {}
-        self.report = ChaosReport(seed=plan.seed, steps=self.config.steps)
+        self.report = ChaosReport(
+            seed=plan.seed,
+            steps=self.config.steps,
+            governed=self.db.governor is not None,
+        )
 
     # -- dispatch (the acknowledgement boundary) ---------------------------
     def _dispatch(self, shard_id: int, sources: list) -> None:
         if self.injector.dispatch_blackholed(shard_id):
             raise FaultInjectionError(f"dispatch to shard {shard_id} blackholed")
         for source in sources:
-            self.db.write(source)
+            try:
+                self.db.write(source)
+            except TenantThrottledError:
+                # A per-write admission-control rejection, not a shard
+                # fault: the rest of the batch still lands, and the shed
+                # write is deliberately NOT acknowledged (the no-acked-
+                # write-lost invariant must not expect it back).
+                self.report.writes_throttled += 1
+                tenant = source[self._tenant_field]
+                self.report.throttled_by_tenant[tenant] = (
+                    self.report.throttled_by_tenant.get(tenant, 0) + 1
+                )
+                continue
             # The write reached a primary and its translog: acknowledged.
             self.acked[source[self._id_field]] = dict(source)
 
@@ -201,6 +262,12 @@ class ChaosRunner:
             doc = self.generator.generate(created_time=now)
             self.client.submit(doc)
             self.report.writes_submitted += 1
+            for _ in range(config.flood_factor):
+                flood_doc = self.generator.generate(
+                    created_time=now, tenant_id=config.flood_tenant
+                )
+                self.client.submit(flood_doc)
+                self.report.writes_submitted += 1
             if (step + 1) % config.flush_every == 0:
                 self.client.flush()
             if (step + 1) % config.replicate_every == 0:
@@ -305,4 +372,32 @@ class ChaosRunner:
                 f"{self.client.dead_letter_count()} write(s) stuck in the "
                 "dead-letter queue after redrive"
             )
+        # Noisy-neighbor isolation: with governance on and a flooding
+        # tenant configured, only the flood tenant may ever be shed, and
+        # the flood must actually have been throttled (the governor did
+        # its job). Victims losing writes to someone else's flood is the
+        # exact failure mode this subsystem exists to prevent.
+        if db.governor is not None and self.config.flood_tenant is not None:
+            flood = self.config.flood_tenant
+            victims = {
+                tenant: count
+                for tenant, count in self.report.throttled_by_tenant.items()
+                if tenant != flood
+            }
+            if victims:
+                detail = ", ".join(
+                    f"{tenant}={count}"
+                    for tenant, count in sorted(
+                        victims.items(), key=lambda kv: str(kv[0])
+                    )
+                )
+                violations.append(
+                    f"victim tenant write(s) shed under governance: {detail}"
+                )
+            if self.config.flood_factor and not self.report.throttled_by_tenant.get(
+                flood
+            ):
+                violations.append(
+                    f"flood tenant {flood!r} was never throttled despite flooding"
+                )
         return violations

@@ -137,32 +137,46 @@ def cat_shards(db) -> CatTable:
 
 def cat_tenants(db, k: int | None = None) -> CatTable:
     """One row per observed tenant: cumulative storage, last-window load,
-    and the current query fan-out (shard span) the rule list grants."""
+    and the current query fan-out (shard span) the rule list grants.
+
+    On a governed instance (``db.governor`` set) the table gains the
+    governance columns ``qos`` / ``admitted`` / ``shed`` / ``demoted``;
+    without a governor the table keeps its historical shape exactly.
+    """
     monitor = db.monitor
     storage = monitor.storage()
     window = {stat.tenant_id: stat for stat in monitor.stats()}
+    governor = getattr(db, "governor", None)
     tenants = sorted(
         set(storage) | set(window),
         key=lambda t: (-storage.get(t, 0), str(t)),
     )
     if k is not None:
         tenants = tenants[:k]
+    columns = ("tenant", "docs", "window_writes", "window_share", "span")
+    if governor is not None:
+        columns += ("qos", "admitted", "shed", "demoted")
     rows = []
     for tenant in tenants:
         stat = window.get(tenant)
         span = len(db.policy.query_shards(tenant))
-        rows.append(
-            (
-                str(tenant),
-                storage.get(tenant, 0),
-                stat.writes if stat else 0,
-                stat.share if stat else 0.0,
-                span,
-            )
+        row = (
+            str(tenant),
+            storage.get(tenant, 0),
+            stat.writes if stat else 0,
+            stat.share if stat else 0.0,
+            span,
         )
-    return CatTable(
-        "tenants", ("tenant", "docs", "window_writes", "window_share", "span"), rows
-    )
+        if governor is not None:
+            admitted, _, shed = governor.tenant_counts(tenant)
+            row += (
+                governor.qos_of(tenant, db.now),
+                admitted,
+                shed,
+                "yes" if governor.is_demoted(tenant, db.now) else "no",
+            )
+        rows.append(row)
+    return CatTable("tenants", columns, rows)
 
 
 def cat_rules(db) -> CatTable:

@@ -111,6 +111,19 @@ def render_dashboard(db) -> str:
     rules = cat_rules(db)
     if len(rules):
         sections += ["", "-- routing rules --", rules.render()]
+    governor = getattr(db, "governor", None)
+    if governor is not None:
+        totals = governor.totals()
+        sections += [
+            "",
+            "-- tenancy governance --",
+            (
+                f"  {totals['admitted']} admitted / {totals['queued']} queued / "
+                f"{totals['shed']} shed, queue depth "
+                f"{governor.queue_depth(db.now)}/{governor.config.queue_capacity}, "
+                f"{totals['demotions']} demotion(s)"
+            ),
+        ]
     sections += ["", "-- caches --", cat_caches(db).render()]
     sections += ["", "-- performance history --", performance_history(db)]
     if observer is not None:
@@ -162,6 +175,9 @@ def cluster_snapshot(db) -> dict:
             "dropped_series": 0,
             "series": [],
         }
+    governor = getattr(db, "governor", None)
+    if governor is not None:
+        snapshot["tenancy"] = governor.snapshot(db.now)
     if observer is not None:
         snapshot["obsv"] = observer.snapshot()
     return snapshot

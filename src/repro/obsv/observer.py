@@ -60,6 +60,9 @@ class Observer:
             capacity=self.config.slowlog_capacity,
         )
         self.alerts: deque = deque(maxlen=self.config.max_alerts)
+        #: Alerts raised by the most recent :meth:`roll` — the batch the
+        #: facade hands to the tenant governor's governance policy.
+        self.last_alerts: list = []
         self._metrics = metrics
         if metrics is not None:
             metrics.set_help(
@@ -131,6 +134,7 @@ class Observer:
             hot_tenant_share=self.config.hot_tenant_share,
             hot_shard_ratio=self.config.hot_shard_ratio,
         )
+        self.last_alerts = list(fresh)
         for alert in fresh:
             self.alerts.append(alert)
             if self._metrics is not None:

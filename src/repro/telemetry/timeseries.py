@@ -462,6 +462,13 @@ def install_esdb_derivations(store: TimeSeriesStore) -> TimeSeriesStore:
     store.add_derivation(
         CounterRate("faults.dead_letters_per_s", "write_client_dead_letters_total")
     )
+    # Tenancy governance series: the tenancy_* counters only exist on a
+    # governed instance, so ungoverned instances emit nothing here either.
+    store.add_derivation(
+        CounterRate("tenancy.admitted_per_s", "tenancy_admitted_total")
+    )
+    store.add_derivation(CounterRate("tenancy.shed_per_s", "tenancy_shed_total"))
+    store.add_derivation(CounterRate("tenancy.queued_per_s", "tenancy_queued_total"))
     return store
 
 
@@ -476,4 +483,6 @@ DASHBOARD_SERIES = (
     ("hot shard mean", "esdb.shard_writes.mean"),
     ("faults/s", "faults.injected_per_s"),
     ("recoveries/s", "faults.recovered_per_s"),
+    ("admitted/s", "tenancy.admitted_per_s"),
+    ("shed/s", "tenancy.shed_per_s"),
 )

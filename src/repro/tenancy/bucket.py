@@ -1,0 +1,111 @@
+"""Token buckets and quota ledgers on the logical clock.
+
+Both primitives take *now* as an argument on every call and keep no wall
+clock: the same call sequence always yields the same admit/deny decisions,
+which is what keeps governed chaos runs fingerprint-stable and the quota
+reset deterministic under test.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class TokenBucket:
+    """A token bucket with deterministic logical-clock refill.
+
+    Holds at most *burst* tokens, refilled continuously at *rate* tokens
+    per logical second. :meth:`acquire` may *overdraw* the bucket down to
+    ``-max_debt`` — that models a bounded admission backlog: the caller
+    books tokens that will only have accrued in the future and learns how
+    long the backlog makes the requester wait. The clock is monotone: a
+    *now* earlier than the last refill is clamped (logical clocks jump
+    forward, never back).
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float) -> None:
+        if rate <= 0:
+            raise ConfigurationError("token bucket rate must be positive")
+        if burst < 1:
+            raise ConfigurationError("token bucket burst must be >= 1")
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst  # starts full: a fresh tenant gets its burst
+        self._last = 0.0
+
+    def refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def available(self, now: float) -> float:
+        self.refill(now)
+        return self.tokens
+
+    def wait_time(self, now: float, amount: float = 1.0) -> float:
+        """Logical seconds until *amount* tokens have accrued (0 when they
+        are already available)."""
+        self.refill(now)
+        deficit = amount - self.tokens
+        return deficit / self.rate if deficit > 0 else 0.0
+
+    def acquire(self, now: float, amount: float = 1.0, max_debt: float = 0.0) -> float | None:
+        """Take *amount* tokens; returns the admission delay in logical
+        seconds (0.0 = admitted immediately, >0 = admitted against future
+        tokens), or None when even overdrawing to ``-max_debt`` cannot
+        cover the request — the caller must shed."""
+        self.refill(now)
+        if self.tokens - amount < -max_debt:
+            return None
+        delay = self.wait_time(now, amount)
+        self.tokens -= amount
+        return delay
+
+
+class QuotaLedger:
+    """Per-window usage counters with deterministic tumbling resets.
+
+    Usage accrues into the window ``floor(now / window_seconds)``; the
+    first charge with a *now* past a boundary starts the new window from
+    zero. Because the boundary is a pure function of the logical clock,
+    two runs that feed identical clocks see identical remaining-quota
+    values at every step.
+    """
+
+    __slots__ = ("window_seconds", "_window", "_used")
+
+    def __init__(self, window_seconds: float) -> None:
+        if window_seconds <= 0:
+            raise ConfigurationError("quota window must be positive")
+        self.window_seconds = window_seconds
+        self._window = 0
+        self._used: dict[str, float] = {}
+
+    def _roll(self, now: float) -> None:
+        window = int(now // self.window_seconds)
+        if window != self._window:
+            self._window = window
+            self._used = {}
+
+    def used(self, kind: str, now: float) -> float:
+        self._roll(now)
+        return self._used.get(kind, 0.0)
+
+    def charge(self, kind: str, amount: float, now: float) -> None:
+        """Record *amount* usage of *kind* in the current window."""
+        self._roll(now)
+        self._used[kind] = self._used.get(kind, 0.0) + amount
+
+    def would_exceed(self, kind: str, amount: float, limit: float | None, now: float) -> bool:
+        """True when charging *amount* would push *kind* past *limit*."""
+        if limit is None:
+            return False
+        self._roll(now)
+        return self._used.get(kind, 0.0) + amount > limit
+
+    def reset_in(self, now: float) -> float:
+        """Logical seconds until the current window's quota resets."""
+        self._roll(now)
+        return (self._window + 1) * self.window_seconds - now

@@ -1,0 +1,163 @@
+"""Configuration of multi-tenant resource governance (``EsdbConfig.tenancy``).
+
+One frozen dataclass tunes the four governance mechanisms of
+:mod:`repro.tenancy`: per-tenant token-bucket rate limits (writes/s and
+queries/s with burst allowance), QoS priority classes with weighted access
+to the shared admission queue, per-tenant byte/operation quotas over
+tumbling logical-clock windows, and the alert-driven auto-demotion policy.
+
+``TenancyConfig()`` is **disabled** by default — the facade then builds no
+governor and every path is byte-identical to an ungoverned instance.
+``TenancyConfig.strict()`` is the tight-budget preset the noisy-neighbor
+chaos scenario and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: QoS priority classes, highest priority first. Admission under
+#: saturation is granted in this order: a class may only occupy its
+#: configured fraction of the shared admission queue, so low-priority
+#: backlog is shed first while interactive traffic still books slots.
+QOS_CLASSES = ("interactive", "standard", "batch")
+
+#: Pseudo-tenant that owns cross-tenant (fan-out-all) queries.
+CLUSTER_TENANT = "*"
+
+
+@dataclass(frozen=True)
+class TenancyConfig:
+    """Tuning knobs for per-tenant admission control.
+
+    Attributes:
+        enabled: build a :class:`~repro.tenancy.TenantGovernor` for the
+            instance. Off (default) means no governor object exists and the
+            hot paths pay nothing — not even an ``is not None`` branch is
+            reached differently, keeping default behavior byte-identical.
+        write_rate / write_burst: per-tenant token bucket for writes —
+            sustained writes/second and the burst allowance (bucket size).
+        query_rate / query_burst: same for queries.
+        queue_capacity: slots in the shared bounded admission queue. A
+            request that exceeds its tenant's rate *books* a future-token
+            slot here (backpressure) instead of failing immediately;
+            overflow is shed with
+            :class:`~repro.errors.TenantThrottledError`.
+        interactive_queue_share / standard_queue_share / batch_queue_share:
+            fraction of ``queue_capacity`` each QoS class may fill. With
+            the defaults, batch backlog sheds once the queue is 25% full,
+            standard at 60%, while interactive may use all of it — the
+            weighted-admission ordering under saturation.
+        default_qos: class assigned to tenants without an explicit entry.
+        tenant_qos: ``((tenant, qos), ...)`` static class assignments.
+        indexed_bytes_quota: bytes a tenant may index per quota window
+            (None = unlimited).
+        result_bytes_quota: result-set bytes a tenant's queries may return
+            per window (None = unlimited).
+        scanned_docs_quota: documents a tenant's queries may match per
+            window (None = unlimited).
+        quota_window_seconds: tumbling quota window length on the
+            instance's *logical* clock; usage resets exactly at window
+            boundaries, deterministically.
+        auto_demote: let the governance policy demote tenants to ``batch``
+            when the skew window raises a hot-tenant alert at or above
+            ``demote_share``.
+        demote_share: window write share at which a hot tenant is demoted.
+        demote_seconds: logical seconds a demotion lasts before the tenant
+            is restored to its configured class.
+    """
+
+    enabled: bool = False
+    write_rate: float = 500.0
+    write_burst: float = 100.0
+    query_rate: float = 200.0
+    query_burst: float = 40.0
+    queue_capacity: int = 64
+    interactive_queue_share: float = 1.0
+    standard_queue_share: float = 0.6
+    batch_queue_share: float = 0.25
+    default_qos: str = "standard"
+    tenant_qos: tuple = ()
+    indexed_bytes_quota: int | None = None
+    result_bytes_quota: int | None = None
+    scanned_docs_quota: int | None = None
+    quota_window_seconds: float = 60.0
+    auto_demote: bool = True
+    demote_share: float = 0.35
+    demote_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.write_rate <= 0 or self.query_rate <= 0:
+            raise ConfigurationError("write_rate/query_rate must be positive")
+        if self.write_burst < 1 or self.query_burst < 1:
+            raise ConfigurationError("write_burst/query_burst must be >= 1")
+        if self.queue_capacity < 1:
+            raise ConfigurationError("queue_capacity must be >= 1")
+        for name in (
+            "interactive_queue_share",
+            "standard_queue_share",
+            "batch_queue_share",
+        ):
+            share = getattr(self, name)
+            if not 0.0 < share <= 1.0:
+                raise ConfigurationError(f"{name} must be in (0, 1]")
+        if not (
+            self.interactive_queue_share
+            >= self.standard_queue_share
+            >= self.batch_queue_share
+        ):
+            raise ConfigurationError(
+                "queue shares must not increase with lower priority"
+            )
+        if self.default_qos not in QOS_CLASSES:
+            raise ConfigurationError(
+                f"default_qos must be one of {QOS_CLASSES}, got {self.default_qos!r}"
+            )
+        for tenant, qos in self.tenant_qos:
+            if qos not in QOS_CLASSES:
+                raise ConfigurationError(
+                    f"tenant {tenant!r} assigned unknown QoS class {qos!r}"
+                )
+        for name in ("indexed_bytes_quota", "result_bytes_quota", "scanned_docs_quota"):
+            quota = getattr(self, name)
+            if quota is not None and quota < 1:
+                raise ConfigurationError(f"{name} must be >= 1 or None")
+        if self.quota_window_seconds <= 0:
+            raise ConfigurationError("quota_window_seconds must be positive")
+        if not 0.0 < self.demote_share <= 1.0:
+            raise ConfigurationError("demote_share must be in (0, 1]")
+        if self.demote_seconds <= 0:
+            raise ConfigurationError("demote_seconds must be positive")
+
+    def queue_share(self, qos: str) -> float:
+        """The fraction of the admission queue *qos* may occupy."""
+        return {
+            "interactive": self.interactive_queue_share,
+            "standard": self.standard_queue_share,
+            "batch": self.batch_queue_share,
+        }[qos]
+
+    @staticmethod
+    def strict(**overrides) -> "TenancyConfig":
+        """Tight budgets for adversarial scenarios: low rates, a small
+        queue, and byte/scan quotas enabled — floods throttle quickly."""
+        params = dict(
+            enabled=True,
+            write_rate=40.0,
+            write_burst=16.0,
+            query_rate=20.0,
+            query_burst=8.0,
+            queue_capacity=16,
+            indexed_bytes_quota=256 * 1024,
+            result_bytes_quota=256 * 1024,
+            scanned_docs_quota=20_000,
+            quota_window_seconds=10.0,
+        )
+        params.update(overrides)
+        return TenancyConfig(**params)
+
+    def with_qos(self, tenant: object, qos: str) -> "TenancyConfig":
+        """A copy with one extra static QoS assignment."""
+        return replace(self, tenant_qos=self.tenant_qos + ((tenant, qos),))

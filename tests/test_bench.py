@@ -32,6 +32,7 @@ QUICK_SET = [
     "storage.index",
     "sim.write_static",
     "chaos.crash_failover",
+    "tenancy.qos_ordering",
 ]
 
 

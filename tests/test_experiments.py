@@ -10,10 +10,11 @@ from repro.experiments.cli import main
 
 
 class TestRegistry:
-    def test_all_eleven_figures_registered(self):
+    def test_all_figures_registered(self):
         expected = {
             "fig01", "fig10", "fig11", "fig12", "fig13", "fig14",
             "fig15", "fig16", "fig17", "fig18", "fig19",
+            "fig20",  # extension: governed Single's-Day spike
         }
         assert set(available()) == expected
 
