@@ -14,7 +14,12 @@ Five families, mirroring the paper's evaluation axes plus fault tolerance:
   regression tripwires on top of the wall-clock tick rate;
 * ``chaos.*`` — a seeded :mod:`repro.faults` scenario (crash the primary
   mid-workload, promote, heal); acked-write and invariant counts are
-  deterministic tripwires, wall throughput tracks recovery cost.
+  deterministic tripwires, wall throughput tracks recovery cost;
+* ``tenancy.*`` — multi-tenant governance: admission overhead, noisy-
+  neighbor isolation, QoS-class ordering;
+* ``exec.*`` — the concurrent execution core: bulk_write vs a
+  per-document loop, scatter-gather fan-out latency by shard count and
+  backend, and shared-scan query coalescing.
 
 Every scenario accepts ``quick`` (reduced iteration counts for CI smoke
 runs and tests) and returns the standard throughput + p50/p95/p99 metric
@@ -642,5 +647,166 @@ def tenancy_qos_ordering(quick: bool) -> ScenarioResult:
             "rounds": rounds,
             "admitted": admitted,
             "shed": {tenant: counts[tenant][2] for tenant in tenants},
+        },
+    )
+
+
+# -- exec family ---------------------------------------------------------------
+
+
+def _exec_db(exec_config=None, cache=None, num_shards: int = 8):
+    from repro.cluster import ClusterTopology
+    from repro.esdb import ESDB, EsdbConfig
+
+    extras = {}
+    if exec_config is not None:
+        extras["exec"] = exec_config
+    if cache is not None:
+        extras["cache"] = cache
+    return ESDB(
+        EsdbConfig(
+            topology=ClusterTopology(
+                num_nodes=2, num_shards=num_shards, replicas_per_shard=0
+            ),
+            consensus_interval=1.0,
+            **extras,
+        )
+    )
+
+
+@scenario("exec.bulk_write", "exec",
+          "batched bulk_write vs a per-document write loop, identical "
+          "topology and documents on both sides")
+def exec_bulk_write(quick: bool) -> ScenarioResult:
+    count = 2_000 if quick else 10_000
+    elapsed = {}
+    for label in ("loop", "bulk"):
+        db = _exec_db()
+        docs = _documents(count, seed=3)
+        gc.collect()  # don't bill one side for the other side's garbage
+        gc.disable()
+        start = time.perf_counter()
+        try:
+            if label == "loop":
+                for doc in docs:
+                    db.write(doc)
+            else:
+                result = db.bulk_write(docs)
+                assert result.ok, "bulk_write must apply every bench doc"
+        finally:
+            gc.enable()
+        elapsed[label] = time.perf_counter() - start
+    loop_rate = count / elapsed["loop"] if elapsed["loop"] else 0.0
+    bulk_rate = count / elapsed["bulk"] if elapsed["bulk"] else 0.0
+    return ScenarioResult(
+        {
+            "loop_docs_per_s": Metric(loop_rate, "docs/s", "higher"),
+            "bulk_docs_per_s": Metric(bulk_rate, "docs/s", "higher"),
+            "bulk_speedup_x": Metric(
+                bulk_rate / loop_rate if loop_rate else 0.0, "x", "higher"
+            ),
+        },
+        meta={"docs": count, "shards": 8},
+    )
+
+
+@scenario("exec.fanout", "exec",
+          "full fan-out query latency vs shard count, serial and threads "
+          "scatter-gather (results must be identical)")
+def exec_fanout(quick: bool) -> ScenarioResult:
+    from repro.cache import CacheConfig
+    from repro.exec import ExecConfig
+
+    count = 600 if quick else 2_400
+    rounds = 8 if quick else 24
+    sql = "SELECT COUNT(*) FROM transaction_logs WHERE quantity >= 3"
+    metrics = {}
+    meta = {"docs": count, "rounds": rounds}
+    reference = {}
+    for shards in (4, 16):
+        for backend in ("serial", "threads"):
+            exec_config = (
+                ExecConfig.threads() if backend == "threads" else None
+            )
+            # Caches off: a repeated statement must actually fan out every
+            # round, otherwise this measures the result cache.
+            db = _exec_db(
+                exec_config=exec_config,
+                cache=CacheConfig.off(),
+                num_shards=shards,
+            )
+            db.bulk_write(_documents(count, seed=5))
+            db.refresh()
+            durations = time_ops(lambda i: db.execute_sql(sql), rounds)
+            result = db.execute_sql(sql)
+            if shards in reference:
+                assert result.rows == reference[shards], (
+                    "threads fan-out must return the serial result"
+                )
+            reference[shards] = result.rows
+            # Direction-aware but tolerant by construction: under the GIL
+            # the thread backend proves ordering/equivalence, not speed, so
+            # each (backend, shards) cell is its own lower-is-better series
+            # rather than a cross-backend ratio that noise could flip.
+            metrics[f"{backend}_{shards}shard_p50_ms"] = Metric(
+                sorted(durations)[len(durations) // 2] * 1e3, "ms", "lower"
+            )
+            meta[f"{backend}_{shards}shard_hits"] = result.total_hits
+            db.close()
+    return ScenarioResult(metrics, meta=meta)
+
+
+@scenario("exec.shared_scan", "exec",
+          "8 identical full-scan queries: independent execution vs one "
+          "coalesced execute_batch pass (caches off)")
+def exec_shared_scan(quick: bool) -> ScenarioResult:
+    from repro.cache import CacheConfig
+    from repro.exec import ExecConfig
+
+    count = 1_200 if quick else 6_000
+    batch = ["SELECT * FROM transaction_logs WHERE quantity >= 3"] * 8
+    # Serial backend with coalescing on: the shared-scan win is measured
+    # by itself, with no worker pool and no result cache helping either
+    # side.
+    db = _exec_db(
+        exec_config=ExecConfig(backend="serial", coalesce_queries=True),
+        cache=CacheConfig.off(),
+    )
+    db.bulk_write(_documents(count, seed=9))
+    db.refresh()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        independent = [db.execute_sql(sql) for sql in batch]
+        independent_s = time.perf_counter() - start
+        start = time.perf_counter()
+        shared = db.execute_batch(batch)
+        shared_s = time.perf_counter() - start
+    finally:
+        gc.enable()
+    assert all(
+        a.rows == b.rows and a.total_hits == b.total_hits
+        for a, b in zip(shared, independent)
+    ), "coalesced results must equal independent execution"
+    independent_rate = len(batch) / independent_s if independent_s else 0.0
+    shared_rate = len(batch) / shared_s if shared_s else 0.0
+    saved = db.telemetry.metrics.total("exec_shared_saved_total")
+    return ScenarioResult(
+        {
+            "independent_queries_per_s": Metric(
+                independent_rate, "queries/s", "higher"
+            ),
+            "shared_queries_per_s": Metric(shared_rate, "queries/s", "higher"),
+            "shared_speedup_x": Metric(
+                shared_rate / independent_rate if independent_rate else 0.0,
+                "x", "higher",
+            ),
+        },
+        meta={
+            "docs": count,
+            "batch": len(batch),
+            "queries_saved": int(saved),
+            "hits": shared[0].total_hits,
         },
     )

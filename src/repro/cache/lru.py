@@ -12,6 +12,7 @@ counters and a ``cache_bytes`` gauge, all labeled with the cache's
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from itertools import islice
@@ -111,6 +112,11 @@ class LruCache:
         self.max_bytes = max_bytes
         self.level = level
         self.stats = CacheStats()
+        # Even a read mutates an LRU (hits reorder the recency list), so
+        # every entry-map access is serialized; executor workers share the
+        # request cache. Uncontended acquire cost is noise next to the
+        # query work a hit saves.
+        self._mutex = threading.RLock()
         self._entries: OrderedDict[Any, tuple[Any, int]] = OrderedDict()
         self._on_evict = on_evict
         registry = metrics if metrics is not None else NULL_REGISTRY
@@ -128,25 +134,28 @@ class LruCache:
 
     def get(self, key: Any):
         """Return the cached value or None; a hit refreshes recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            self._miss_counter.inc()
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        self._hit_counter.inc()
-        return entry[0]
+        with self._mutex:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                self._miss_counter.inc()
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            self._hit_counter.inc()
+            return entry[0]
 
     def peek(self, key: Any):
         """Like :meth:`get` but without touching recency or statistics."""
-        entry = self._entries.get(key)
-        return entry[0] if entry is not None else None
+        with self._mutex:
+            entry = self._entries.get(key)
+            return entry[0] if entry is not None else None
 
     def touch(self, key: Any) -> None:
         """Refresh *key*'s recency without counting a hit."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
+        with self._mutex:
+            if key in self._entries:
+                self._entries.move_to_end(key)
 
     def record_hit(self) -> None:
         """Explicit accounting for callers that look up via :meth:`peek`."""
@@ -164,39 +173,43 @@ class LruCache:
             cost = estimate_bytes(value)
         if cost > self.max_bytes:
             return False
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._account(-old[1])
-        self._entries[key] = (value, cost)
-        self._account(cost)
-        self.stats.insertions += 1
-        while self.stats.bytes > self.max_bytes and self._entries:
-            self._evict_one()
-        return True
+        with self._mutex:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._account(-old[1])
+            self._entries[key] = (value, cost)
+            self._account(cost)
+            self.stats.insertions += 1
+            while self.stats.bytes > self.max_bytes and self._entries:
+                self._evict_one()
+            return True
 
     def pop(self, key: Any):
         """Remove and return *key*'s value (None when absent); counts as an
         invalidation, not an eviction."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return None
-        self._account(-entry[1])
-        self.stats.invalidations += 1
-        return entry[0]
+        with self._mutex:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return None
+            self._account(-entry[1])
+            self.stats.invalidations += 1
+            return entry[0]
 
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""
-        dropped = len(self._entries)
-        for key, (value, _) in list(self._entries.items()):
-            if self._on_evict is not None:
-                self._on_evict(key, value)
-        self._entries.clear()
-        self._account(-self.stats.bytes)
-        self.stats.invalidations += dropped
-        return dropped
+        with self._mutex:
+            dropped = len(self._entries)
+            for key, (value, _) in list(self._entries.items()):
+                if self._on_evict is not None:
+                    self._on_evict(key, value)
+            self._entries.clear()
+            self._account(-self.stats.bytes)
+            self.stats.invalidations += dropped
+            return dropped
 
     def keys(self):
-        return list(self._entries.keys())
+        with self._mutex:
+            return list(self._entries.keys())
 
     # -- internals -------------------------------------------------------------
     def _evict_one(self) -> None:

@@ -130,6 +130,33 @@ class WriteClient:
             "write_client_batch_size", buckets=exponential_buckets(1, 2, 10)
         )
 
+    @classmethod
+    def for_esdb(
+        cls,
+        db,
+        config: WriteClientConfig | None = None,
+        **kwargs,
+    ) -> "WriteClient":
+        """A client whose dispatch lands each shard batch through
+        :meth:`ESDB.bulk_write` — one routing-and-apply pass per batch
+        instead of a per-document ``db.write`` loop.
+
+        Per-document semantics are preserved: a throttled document is
+        re-raised as its :class:`~repro.errors.TenantThrottledError`
+        (admission backpressure, handled by the flush machinery), any
+        other per-document failure re-raises so the client's bounded
+        retry / dead-letter path engages.
+        """
+
+        def dispatch(shard_id: int, sources: list) -> None:
+            result = db.bulk_write(sources)
+            for item in result.items:
+                if not item.ok:
+                    raise item.error
+
+        kwargs.setdefault("telemetry", db.telemetry)
+        return cls(db.policy, dispatch, config, **kwargs)
+
     # -- hotspot management ----------------------------------------------------
     def mark_hotspot(self, tenant_id: object) -> None:
         """Isolate future writes of *tenant_id* into the hotspot queue."""

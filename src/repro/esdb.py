@@ -20,6 +20,8 @@ examples and the query-side benchmarks (Figures 16–18).
 from __future__ import annotations
 
 import itertools
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterable, Mapping
 
@@ -38,6 +40,7 @@ from repro.obsv import runtime as obsv_runtime
 from repro.obsv.cat import (
     CatTable,
     cat_caches,
+    cat_exec,
     cat_faults,
     cat_nodes,
     cat_rules,
@@ -48,6 +51,8 @@ from repro.obsv.cat import (
 from repro.obsv.dashboard import cluster_snapshot, render_dashboard
 from repro.consensus import ConsensusConfig, ConsensusMaster, Participant, RuleProposal
 from repro.errors import ConsensusAborted, EsdbError, QueryError
+from repro.exec import BulkItemResult, BulkResult, ExecConfig, ShardExecutor
+from repro.exec import execute_batch as _shared_execute_batch
 from repro.query import (
     QueryExecutor,
     ResultAggregator,
@@ -136,6 +141,14 @@ class EsdbConfig:
             backpressure with structured shed-load errors. Disabled by
             default — the instance then builds no governor and every path
             is byte-identical to an ungoverned instance.
+        exec: the concurrent execution core (:mod:`repro.exec`). The
+            default ``serial`` backend builds no executor object and keeps
+            every write/query path byte-identical to the single-threaded
+            instance (chaos fingerprints included). ``ExecConfig.threads()``
+            runs per-shard bulk batches and query scatter-gather on a
+            worker pool with deterministic (shard-id-ordered) merges, and
+            enables SharedDB-style query coalescing in
+            :meth:`ESDB.execute_batch`.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -155,6 +168,7 @@ class EsdbConfig:
     timeseries_interval: float = 1.0
     timeseries_capacity: int = 240
     tenancy: TenancyConfig = field(default_factory=TenancyConfig)
+    exec: ExecConfig = field(default_factory=ExecConfig)
 
 
 class ESDB:
@@ -260,10 +274,18 @@ class ESDB:
         #: sql text -> target tenant, memoized for admission (the tenant of a
         #: SQL string is a pure function of the text, so repeat queries —
         #: the result-cache hot path — skip the probe parse entirely).
-        self._query_tenant_cache: dict[str, object] = {}
+        #: LRU-bounded: at capacity the stalest probe is evicted, never the
+        #: whole map — a hot result-cache path keeps its memoized tenants.
+        self._query_tenant_cache: OrderedDict[str, object] = OrderedDict()
         if self.config.tenancy.enabled:
             self.governor = TenantGovernor(
                 self.config.tenancy,
+                metrics=self.telemetry.metrics if self.telemetry.enabled else None,
+            )
+        self.executor: ShardExecutor | None = None
+        if self.config.exec.enabled:
+            self.executor = ShardExecutor(
+                self.config.exec,
                 metrics=self.telemetry.metrics if self.telemetry.enabled else None,
             )
         self._doc_shard: dict[object, int] = {}
@@ -360,12 +382,214 @@ class ESDB:
             self.timeseries.maybe_sample(self._clock)
         return shard_id
 
+    def bulk_write(
+        self,
+        sources: Iterable[Mapping[str, Any]],
+        stop_on_error: bool = False,
+    ) -> BulkResult:
+        """The batched bulk-write path (Elasticsearch's ``_bulk``): one
+        routing pass groups the documents by routed shard, then each
+        shard's batch is applied as a unit — on that shard's worker under
+        the ``threads`` backend, in shard-id order under ``serial``.
+
+        Per-document semantics match :meth:`write` exactly — same clock
+        advancement, admission checks, routing decisions and workload
+        accounting, in submission order — but the per-document overheads
+        (span trees, counter lookups, history sampling) are paid once per
+        batch, which is where the bulk throughput win comes from.
+
+        Never raises for a per-document failure: every submitted source
+        gets a :class:`~repro.exec.BulkItemResult` in submission order and
+        failed documents carry their exception. With ``stop_on_error`` the
+        routing pass stops admitting documents after the first failure
+        (matching a per-document loop that raises mid-way); the remaining
+        items share the stopping error.
+        """
+        telemetry = self.telemetry
+        tracer = telemetry.tracer
+        metrics = telemetry.metrics
+        schema = self.config.schema
+        governor = self.governor
+        sources = list(sources)
+        items: list[BulkItemResult | None] = [None] * len(sources)
+        tenants: list[object] = [None] * len(sources)
+        groups: dict[int, list[tuple[int, object, object, Mapping[str, Any]]]] = {}
+        with tracer.span("bulk_write", docs=len(sources)) as span:
+            stopped_at: int | None = None
+            with tracer.span("bulk.route", policy=self.policy.name):
+                for position, source in enumerate(sources):
+                    doc_id = None
+                    try:
+                        tenant_id = source[schema.tenant_field]
+                        doc_id = source[schema.id_field]
+                        created_time = float(source[schema.time_field])
+                        self.advance_clock(created_time)
+                        if governor is not None:
+                            governor.admit_write(
+                                tenant_id,
+                                self._clock,
+                                doc_bytes(source)
+                                if governor.config.indexed_bytes_quota is not None
+                                else 0,
+                            )
+                        shard_id = self.policy.route_write(
+                            tenant_id, doc_id, created_time
+                        )
+                    except Exception as exc:
+                        items[position] = BulkItemResult(
+                            position=position, doc_id=doc_id, ok=False, error=exc
+                        )
+                        if stop_on_error:
+                            stopped_at = position
+                            break
+                        continue
+                    tenants[position] = tenant_id
+                    self.monitor.record_write(tenant_id, self._clock)
+                    raw_attributes = source.get("attributes")
+                    if raw_attributes:
+                        from repro.storage.document import parse_attributes
+
+                        self._subattr_frequencies.record_write(
+                            parse_attributes(str(raw_attributes)).keys()
+                        )
+                    groups.setdefault(shard_id, []).append(
+                        (position, tenant_id, doc_id, source)
+                    )
+            if stopped_at is not None:
+                # Documents after the failure never entered the routing
+                # pass — they were not admitted and will not be applied.
+                stopping_error = items[stopped_at].error
+                for position in range(stopped_at + 1, len(sources)):
+                    items[position] = BulkItemResult(
+                        position=position, ok=False, error=stopping_error
+                    )
+            shard_ids = sorted(groups)
+            with tracer.span("bulk.apply", shards=len(shard_ids)):
+                if self.executor is not None:
+                    self.executor.map_ordered(
+                        lambda shard_id: self._apply_bulk_batch(
+                            shard_id, groups[shard_id], items
+                        ),
+                        shard_ids,
+                        phase="bulk",
+                    )
+                else:
+                    for shard_id in shard_ids:
+                        self._apply_bulk_batch(shard_id, groups[shard_id], items)
+        applied = sum(1 for item in items if item is not None and item.ok)
+        metrics.counter("esdb_bulk_writes_total").inc()
+        if applied:
+            metrics.counter("esdb_bulk_docs_total").inc(applied)
+        duration = span.duration
+        per_doc = duration / len(sources) if sources else 0.0
+        if telemetry.enabled and applied:
+            histogram = metrics.histogram("esdb_write_seconds")
+            for _ in range(applied):
+                histogram.observe(per_doc)
+        if self.obsv is not None:
+            for item in items:
+                if item is not None and item.ok:
+                    self.obsv.record_write(
+                        tenants[item.position],
+                        item.shard_id,
+                        per_doc,
+                        self._clock,
+                        trace=None,
+                    )
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample(self._clock)
+        return BulkResult(items=list(items), took=duration)
+
+    def _apply_bulk_batch(
+        self,
+        shard_id: int,
+        batch: list[tuple[int, object, object, Mapping[str, Any]]],
+        items: list,
+    ) -> None:
+        """Apply one shard's bulk batch (runs on that shard's worker under
+        the thread backend). Documents stay in submission order; each
+        failure is recorded on its item without aborting the batch."""
+        replica_set = self.replica_sets.get(shard_id)
+        engine = self.engines[shard_id]
+        shard = self.cluster.shard(shard_id)
+        governor = self.governor
+        started = time.perf_counter()
+        applied = 0
+        if replica_set is None and len(batch) > 1:
+            # Fast path: one engine lock acquisition for the whole shard
+            # batch. On any failure fall through to the per-document loop
+            # for exact error attribution — re-indexing an already-applied
+            # document is a same-id replace, so the retry is idempotent.
+            try:
+                engine.bulk_index([source for _, _, _, source in batch])
+            except Exception:
+                pass
+            else:
+                for position, tenant_id, doc_id, source in batch:
+                    shard.record_write()
+                    self._doc_shard[doc_id] = shard_id
+                    items[position] = BulkItemResult(
+                        position=position, doc_id=doc_id, shard_id=shard_id
+                    )
+                self.telemetry.metrics.counter(
+                    "esdb_writes_total", shard=shard_id
+                ).inc(len(batch))
+                if governor is not None:
+                    elapsed = time.perf_counter() - started
+                    share = elapsed / len(batch)
+                    for position, tenant_id, _, _ in batch:
+                        governor.charge_cpu(tenant_id, share, op="bulk_write")
+                return
+        for position, tenant_id, doc_id, source in batch:
+            try:
+                if replica_set is not None:
+                    replica_set.index(source)
+                else:
+                    engine.index(source)
+            except Exception as exc:
+                items[position] = BulkItemResult(
+                    position=position,
+                    doc_id=doc_id,
+                    shard_id=shard_id,
+                    ok=False,
+                    error=exc,
+                )
+                continue
+            shard.record_write()
+            self._doc_shard[doc_id] = shard_id
+            items[position] = BulkItemResult(
+                position=position, doc_id=doc_id, shard_id=shard_id
+            )
+            applied += 1
+        if applied:
+            self.telemetry.metrics.counter(
+                "esdb_writes_total", shard=shard_id
+            ).inc(applied)
+        if governor is not None and batch:
+            # CPU accounting where the work actually ran: the batch's
+            # engine time, attributed evenly to each document's tenant.
+            elapsed = time.perf_counter() - started
+            share = elapsed / len(batch)
+            for position, tenant_id, _, _ in batch:
+                governor.charge_cpu(tenant_id, share, op="bulk_write")
+
     def write_many(self, sources: Iterable[Mapping[str, Any]]) -> int:
-        count = 0
-        for source in sources:
-            self.write(source)
-            count += 1
-        return count
+        result = self.bulk_write(sources, stop_on_error=True)
+        result.raise_first()
+        return len(result.items)
+
+    def execute_batch(self, sqls: Iterable[str]) -> list[QueryResult]:
+        """Execute a batch of SQL statements with shared execution
+        (:mod:`repro.exec.shared`): exact duplicates run once, same-column
+        scan filters share one doc-values pass per shard. With coalescing
+        disabled this is exactly a loop over :meth:`execute_sql` — results
+        always align with the input positions either way."""
+        return _shared_execute_batch(self, list(sqls))
+
+    def close(self) -> None:
+        """Release the execution backend (idempotent; serial is a no-op)."""
+        if self.executor is not None:
+            self.executor.shutdown()
 
     def update(self, doc_id: object, changes: Mapping[str, Any]) -> None:
         """Update by document id — routed via the same rules that placed it
@@ -550,6 +774,7 @@ class ESDB:
                 query_tenant = self._statement_tenant(statement)
             elif sql in self._query_tenant_cache:
                 query_tenant = self._query_tenant_cache[sql]
+                self._query_tenant_cache.move_to_end(sql)
             else:
                 try:
                     probe = parse_sql(sql)
@@ -558,8 +783,8 @@ class ESDB:
                 else:
                     statement = probe
                 query_tenant = self._statement_tenant(probe)
-                if len(self._query_tenant_cache) >= 512:
-                    self._query_tenant_cache.clear()
+                while len(self._query_tenant_cache) >= 512:
+                    self._query_tenant_cache.popitem(last=False)
                 self._query_tenant_cache[sql] = query_tenant
             governor.admit_query(query_tenant, self._clock)
         with tracer.span("query") as root:
@@ -681,48 +906,128 @@ class ESDB:
         statement_key = (
             statement_fingerprint(statement) if self.request_cache is not None else None
         )
-        shard_results = []
-        for shard_id in shard_ids:
-            with tracer.span(f"query.shard[{shard_id}]") as sub_span:
-                engine = self.engines[shard_id]
-                if statement_key is not None:
-                    entry = self.request_cache.get(
-                        shard_id, statement_key, engine.generation
-                    )
-                    if entry is not None:
-                        # Subquery skipped: a cache.hit span stands in for
-                        # the executor subtree.
-                        with tracer.span("cache.hit", level="request"):
-                            pass
-                        sub_span.tags["cache"] = "hit"
-                        sub_span.tags["matched"] = entry[1]
-                        shard_results.append(entry)
-                        continue
-                executor = QueryExecutor(engine, telemetry=self.telemetry)
-                rows, _ = executor.execute(plan)
-                matched = len(rows)
-                if push_limit is not None:
-                    if statement.order_by is not None:
-                        rows = engine.top_k(
-                            rows,
-                            statement.order_by.column,
-                            push_limit,
-                            descending=statement.order_by.descending,
+        if self.executor is not None and len(shard_ids) > 1:
+            shard_results = self._parallel_shard_results(
+                root, plan, statement, shard_ids, statement_key, push_limit
+            )
+        else:
+            shard_results = []
+            for shard_id in shard_ids:
+                with tracer.span(f"query.shard[{shard_id}]") as sub_span:
+                    engine = self.engines[shard_id]
+                    if statement_key is not None:
+                        entry = self.request_cache.get(
+                            shard_id, statement_key, engine.generation
                         )
-                    elif matched > push_limit:
-                        from repro.storage.postings import PostingList
-
-                        rows = PostingList(list(rows)[:push_limit], presorted=True)
-                sub_span.tags["matched"] = matched
-                entry = ([doc.source for doc in engine.fetch(rows)], matched)
-                if statement_key is not None:
-                    self.request_cache.put(
-                        shard_id, statement_key, engine.generation, entry
+                        if entry is not None:
+                            # Subquery skipped: a cache.hit span stands in
+                            # for the executor subtree.
+                            with tracer.span("cache.hit", level="request"):
+                                pass
+                            sub_span.tags["cache"] = "hit"
+                            sub_span.tags["matched"] = entry[1]
+                            shard_results.append(entry)
+                            continue
+                    entry, matched = self._shard_subquery(
+                        shard_id, plan, statement, statement_key, push_limit,
+                        telemetry=self.telemetry,
                     )
-                shard_results.append(entry)
+                    sub_span.tags["matched"] = matched
+                    shard_results.append(entry)
         with tracer.span("query.aggregate"):
             result = aggregator.aggregate_shards(shard_results)
         return result, shard_ids, statement
+
+    def _shard_subquery(
+        self,
+        shard_id: int,
+        plan,
+        statement: SelectStatement,
+        statement_key,
+        push_limit: int | None,
+        telemetry=None,
+    ) -> tuple[tuple, int]:
+        """Execute one shard's subquery (cache miss path): plan execution,
+        LIMIT pushdown, raw-document fetch, request-cache fill. Returns the
+        shard entry and its matched count. Thread-safe — the parallel
+        fan-out runs it on workers with the no-op telemetry."""
+        engine = self.engines[shard_id]
+        executor = QueryExecutor(
+            engine, telemetry=telemetry if telemetry is not None else NULL_TELEMETRY
+        )
+        rows, _ = executor.execute(plan)
+        matched = len(rows)
+        if push_limit is not None:
+            if statement.order_by is not None:
+                rows = engine.top_k(
+                    rows,
+                    statement.order_by.column,
+                    push_limit,
+                    descending=statement.order_by.descending,
+                )
+            elif matched > push_limit:
+                from repro.storage.postings import PostingList
+
+                rows = PostingList(list(rows)[:push_limit], presorted=True)
+        entry = ([doc.source for doc in engine.fetch(rows)], matched)
+        if statement_key is not None:
+            self.request_cache.put(shard_id, statement_key, engine.generation, entry)
+        return entry, matched
+
+    def _parallel_shard_results(
+        self,
+        root: Span,
+        plan,
+        statement: SelectStatement,
+        shard_ids: list[int],
+        statement_key,
+        push_limit: int | None,
+    ) -> list:
+        """Scatter-gather: dispatch every shard subquery to the worker pool
+        and merge in shard-id order — results never depend on completion
+        order, so the thread backend's answers equal the serial backend's.
+
+        Workers run outside the tracer context (span stacks are
+        thread-local); the coordinator reconstructs one ``query.shard[i]``
+        span per shard from the workers' measured start/end times so
+        ``explain_analyze`` keeps its per-shard breakdown."""
+        governor = self.governor
+        query_tenant = (
+            self._statement_tenant(statement) if governor is not None else None
+        )
+
+        def run_shard(shard_id: int):
+            started = time.perf_counter()
+            cache_hit = False
+            entry = None
+            if statement_key is not None:
+                entry = self.request_cache.get(
+                    shard_id, statement_key, self.engines[shard_id].generation
+                )
+                cache_hit = entry is not None
+            if entry is None:
+                entry, _ = self._shard_subquery(
+                    shard_id, plan, statement, statement_key, push_limit
+                )
+            elapsed = time.perf_counter() - started
+            if governor is not None:
+                governor.charge_cpu(query_tenant, elapsed, op="query")
+            return entry, cache_hit, started, time.perf_counter()
+
+        outcomes = self.executor.map_ordered(run_shard, shard_ids, phase="query")
+        shard_results = []
+        for shard_id, (entry, cache_hit, started, ended) in zip(shard_ids, outcomes):
+            sub_span = Span(f"query.shard[{shard_id}]")
+            sub_span.start, sub_span.end = started, ended
+            sub_span.tags["matched"] = entry[1]
+            if cache_hit:
+                hit_span = Span("cache.hit", {"level": "request"})
+                hit_span.start, hit_span.end = started, ended
+                sub_span.children.append(hit_span)
+                sub_span.tags["cache"] = "hit"
+            root.children.append(sub_span)
+            shard_results.append(entry)
+        return shard_results
 
     @staticmethod
     def _pushdown_limit(statement: SelectStatement) -> int | None:
@@ -787,6 +1092,12 @@ class ESDB:
         """Fault-injection history: every inject/recover action with its
         current status (``active`` while un-recovered)."""
         return cat_faults(self)
+
+    def cat_exec(self) -> CatTable:
+        """Execution-core statistics: pool shape, per-phase task counts,
+        per-worker spread, bulk volumes and shared-scan savings (empty on
+        a serial instance that never bulk-wrote or batched queries)."""
+        return cat_exec(self)
 
     def cat_timeseries(self, k: int | None = None) -> CatTable:
         """Performance history: one row per recorded time series with a

@@ -1,0 +1,68 @@
+"""Result types of the batched bulk-write path (:meth:`ESDB.bulk_write`).
+
+Mirrors Elasticsearch's ``_bulk`` response shape: the call never throws
+away per-document information — every submitted source gets exactly one
+:class:`BulkItemResult` in submission order, successful or not, so a
+client can retry precisely the failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BulkItemResult:
+    """Outcome of one document inside a bulk write.
+
+    Attributes:
+        position: the document's index in the submitted sequence.
+        doc_id: the document id (None if the source was rejected before
+            its id field could be read).
+        shard_id: the routed shard (None if rejected before routing).
+        ok: whether the document was applied to its shard engine.
+        error: the exception that rejected it (None when ``ok``).
+    """
+
+    position: int
+    doc_id: object = None
+    shard_id: int | None = None
+    ok: bool = True
+    error: BaseException | None = None
+
+
+@dataclass
+class BulkResult:
+    """Outcome of one :meth:`ESDB.bulk_write` call."""
+
+    items: list[BulkItemResult] = field(default_factory=list)
+    #: Coordinator-side elapsed seconds for the whole bulk.
+    took: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(item.ok for item in self.items)
+
+    @property
+    def applied(self) -> int:
+        """Documents that reached a shard engine."""
+        return sum(1 for item in self.items if item.ok)
+
+    @property
+    def errors(self) -> list[BulkItemResult]:
+        """The failed items, in submission order."""
+        return [item for item in self.items if not item.ok]
+
+    def raise_first(self) -> None:
+        """Re-raise the first (submission-order) error, if any."""
+        for item in self.items:
+            if not item.ok:
+                raise item.error
+
+    def shard_counts(self) -> dict[int, int]:
+        """Applied documents per shard (diagnostics / tests)."""
+        counts: dict[int, int] = {}
+        for item in self.items:
+            if item.ok and item.shard_id is not None:
+                counts[item.shard_id] = counts.get(item.shard_id, 0) + 1
+        return counts

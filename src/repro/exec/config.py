@@ -1,0 +1,84 @@
+"""Configuration of the concurrent execution core (``EsdbConfig.exec``).
+
+One frozen dataclass selects the execution backend and tunes the two
+optional concurrency mechanisms of :mod:`repro.exec`: per-shard worker
+pools (bulk-write application and query scatter-gather dispatched to a
+thread pool) and shared execution (SharedDB-style query coalescing — many
+same-shaped statements answered with one scan).
+
+``ExecConfig()`` is the **serial** backend by default — the facade then
+builds no executor object and every write/query path is byte-identical to
+today's single-threaded instance, including chaos fingerprints.
+``ExecConfig.threads()`` is the worker-pool preset the concurrency
+benchmarks and the threaded chaos smoke run with.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigurationError
+
+#: Recognized execution backends.
+BACKENDS = ("serial", "threads")
+
+
+@dataclass(frozen=True)
+class ExecConfig:
+    """Tuning knobs for the execution layer.
+
+    Attributes:
+        backend: ``"serial"`` (default) keeps today's single-threaded code
+            paths — the facade builds no executor and no pool, so default
+            behavior (including chaos fingerprints) is byte-identical.
+            ``"threads"`` builds a :class:`~repro.exec.ShardExecutor` on a
+            ``concurrent.futures`` thread pool: per-shard bulk batches and
+            per-shard query subqueries run on workers, with deterministic
+            scatter-gather (results are merged in shard-id order, never
+            completion order).
+        workers: pool size for the ``threads`` backend. ``None`` sizes the
+            pool to ``min(8, os.cpu_count())``.
+        coalesce_queries: enable the shared-execution stage
+            (:meth:`ESDB.execute_batch`): concurrently submitted statements
+            are grouped by fingerprint (exact duplicates run once) and by
+            scan family (same-column filters share one doc-values pass per
+            shard). Off by default; independent of the backend choice —
+            coalescing amortizes scans, not threads.
+        max_group: largest number of statements fused into one shared scan
+            group; statements beyond it start a new group.
+    """
+
+    backend: str = "serial"
+    workers: int | None = None
+    coalesce_queries: bool = False
+    max_group: int = 64
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown exec backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError("workers must be >= 1 (or None for auto)")
+        if self.max_group < 2:
+            raise ConfigurationError("max_group must be >= 2")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether this config builds an executor object at all."""
+        return self.backend != "serial"
+
+    def pool_size(self) -> int:
+        """The resolved worker count for the ``threads`` backend."""
+        if self.workers is not None:
+            return self.workers
+        return min(8, os.cpu_count() or 1)
+
+    @classmethod
+    def threads(cls, workers: int | None = None, **overrides) -> "ExecConfig":
+        """The worker-pool preset used by benchmarks and threaded chaos."""
+        return replace(
+            cls(backend="threads", workers=workers, coalesce_queries=True),
+            **overrides,
+        )

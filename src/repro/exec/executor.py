@@ -1,0 +1,131 @@
+"""The shard executor: deterministic fan-out onto a worker pool.
+
+:class:`ShardExecutor` is the one concurrency primitive every parallel
+path in the facade shares. It owns a ``concurrent.futures`` thread pool
+(``threads`` backend) and exposes exactly one scheduling shape —
+:meth:`map_ordered`: run one task per key, gather results in **input
+order** regardless of completion order. That single invariant is what
+makes the thread backend's outputs equal the serial backend's: bulk
+batches apply per shard (each shard's documents stay in submission
+order on one worker), and query scatter-gather merges shard results in
+shard-id order, never arrival order.
+
+Telemetry lands in the shared registry: ``exec_tasks_total`` (by
+phase), ``exec_worker_tasks_total`` (by worker thread), an
+``exec_task_seconds`` histogram and an ``exec_queue_depth`` gauge —
+the data behind ``cat_exec`` and the ``exec.*`` derived series.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+from repro.exec.config import ExecConfig
+
+
+class ShardExecutor:
+    """Run per-shard tasks on a worker pool with input-order gather."""
+
+    def __init__(self, config: ExecConfig, metrics=None) -> None:
+        self.config = config
+        self.backend = config.backend
+        self.workers = config.pool_size() if config.enabled else 0
+        self._metrics = metrics
+        self._pool: ThreadPoolExecutor | None = None
+        self._pending = 0
+        self._pending_lock = threading.Lock()
+        if config.enabled:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="esdb-exec"
+            )
+        self.tasks_run = 0
+
+    # -- scheduling --------------------------------------------------------
+    def map_ordered(
+        self,
+        fn: Callable[[Any], Any],
+        keys: Sequence[Any],
+        phase: str = "task",
+    ) -> list:
+        """Run ``fn(key)`` for every key; return results in input order.
+
+        On the serial backend this is a plain loop. On the thread backend
+        every key is submitted to the pool up front and results are
+        gathered by waiting on the futures *in input order* — completion
+        order never leaks into the result list. Exceptions propagate to
+        the caller exactly as in the serial loop (the first failing key in
+        input order raises; remaining tasks still run to completion on
+        their workers but their results are discarded).
+        """
+        if self._pool is None or len(keys) <= 1:
+            return [self._run_task(fn, key, phase, pooled=False) for key in keys]
+        self._note_pending(len(keys))
+        futures = [
+            self._pool.submit(self._run_task, fn, key, phase, pooled=True)
+            for key in keys
+        ]
+        results = []
+        error: BaseException | None = None
+        for future in futures:
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # gather everything, raise first
+                if error is None:
+                    error = exc
+        if error is not None:
+            raise error
+        return results
+
+    def _run_task(self, fn, key, phase: str, pooled: bool = False):
+        # ``pooled`` is decided at submission time, not by probing
+        # self._pool here: a single-key call on a live pool runs inline
+        # on the caller's thread and must neither touch the queue gauge
+        # (it was never enqueued) nor count as a worker task.
+        start = time.perf_counter()
+        try:
+            return fn(key)
+        finally:
+            elapsed = time.perf_counter() - start
+            self.tasks_run += 1
+            if pooled:
+                self._note_pending(-1)
+            metrics = self._metrics
+            if metrics is not None:
+                metrics.counter(
+                    "exec_tasks_total", backend=self.backend, phase=phase
+                ).inc()
+                metrics.histogram("exec_task_seconds").observe(elapsed)
+                if pooled:
+                    metrics.counter(
+                        "exec_worker_tasks_total",
+                        worker=threading.current_thread().name,
+                    ).inc()
+
+    def _note_pending(self, delta: int) -> None:
+        with self._pending_lock:
+            self._pending += delta
+            depth = self._pending
+        if self._metrics is not None:
+            self._metrics.gauge("exec_queue_depth").set(depth)
+
+    @property
+    def queue_depth(self) -> int:
+        """Tasks submitted to the pool and not yet finished."""
+        with self._pending_lock:
+            return self._pending
+
+    # -- lifecycle ---------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop the pool (idempotent). Serial executors are a no-op."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()

@@ -63,6 +63,7 @@ def noisy_neighbor_config(args) -> "object":
         flood_tenant=FLOOD_TENANT,
         flood_factor=args.flood_factor,
         tenancy=None if args.no_governance else TenancyConfig.strict(),
+        exec_backend=args.exec,
     )
 
 
@@ -99,6 +100,11 @@ def build_parser() -> argparse.ArgumentParser:
              "the isolation invariant is skipped)",
     )
     parser.add_argument(
+        "--exec", choices=("serial", "threads"), default="serial",
+        help="execution backend for the instance under chaos; fingerprints "
+             "must not depend on the choice (default: serial)",
+    )
+    parser.add_argument(
         "--check-determinism", action="store_true",
         help="run the scenario twice and require identical report fingerprints",
     )
@@ -126,6 +132,7 @@ def _run(args):
             num_nodes=args.nodes,
             num_shards=args.shards,
             replicas_per_shard=args.replicas,
+            exec_backend=args.exec,
         )
     runner = ChaosRunner(plan, config)
     report = runner.run()

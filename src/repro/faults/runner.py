@@ -57,6 +57,12 @@ class ChaosConfig:
         tenancy: a :class:`~repro.tenancy.TenancyConfig` to govern the
             instance under chaos (None, the default, runs ungoverned and
             keeps historical fingerprints bit-identical).
+        exec_backend: execution backend for the instance under chaos
+            ("serial", the default, builds no worker pool and keeps
+            historical fingerprints bit-identical; "threads" runs shard
+            batches on a pool — every fingerprint quantity is
+            deterministic, so serial and threads runs of the same plan
+            must produce the same fingerprint).
     """
 
     steps: int = 400
@@ -71,6 +77,7 @@ class ChaosConfig:
     flood_tenant: object | None = None
     flood_factor: int = 0
     tenancy: object | None = None
+    exec_backend: str = "serial"
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -91,6 +98,12 @@ class ChaosConfig:
             raise ConfigurationError("flood_factor must be >= 0")
         if self.flood_factor and self.flood_tenant is None:
             raise ConfigurationError("flood_factor needs a flood_tenant")
+        from repro.exec import BACKENDS
+
+        if self.exec_backend not in BACKENDS:
+            raise ConfigurationError(
+                f"exec_backend must be one of {BACKENDS}, got {self.exec_backend!r}"
+            )
 
 
 @dataclass
@@ -188,6 +201,10 @@ class ChaosRunner:
         esdb_kwargs = {}
         if self.config.tenancy is not None:
             esdb_kwargs["tenancy"] = self.config.tenancy
+        if self.config.exec_backend != "serial":
+            from repro.exec import ExecConfig
+
+            esdb_kwargs["exec"] = ExecConfig(backend=self.config.exec_backend)
         self.db = ESDB(
             EsdbConfig(
                 topology=ClusterTopology(
@@ -233,10 +250,12 @@ class ChaosRunner:
     def _dispatch(self, shard_id: int, sources: list) -> None:
         if self.injector.dispatch_blackholed(shard_id):
             raise FaultInjectionError(f"dispatch to shard {shard_id} blackholed")
-        for source in sources:
-            try:
-                self.db.write(source)
-            except TenantThrottledError:
+        result = self.db.bulk_write(sources)
+        for item, source in zip(result.items, sources):
+            if item.ok:
+                # The write reached a primary and its translog: acknowledged.
+                self.acked[source[self._id_field]] = dict(source)
+            elif isinstance(item.error, TenantThrottledError):
                 # A per-write admission-control rejection, not a shard
                 # fault: the rest of the batch still lands, and the shed
                 # write is deliberately NOT acknowledged (the no-acked-
@@ -246,9 +265,10 @@ class ChaosRunner:
                 self.report.throttled_by_tenant[tenant] = (
                     self.report.throttled_by_tenant.get(tenant, 0) + 1
                 )
-                continue
-            # The write reached a primary and its translog: acknowledged.
-            self.acked[source[self._id_field]] = dict(source)
+            else:
+                # A shard fault mid-batch: surface it to the client so
+                # its retry/dead-letter machinery sees the dispatch fail.
+                raise item.error
 
     # -- the run ------------------------------------------------------------
     def run(self) -> ChaosReport:

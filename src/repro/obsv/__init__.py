@@ -24,6 +24,7 @@ simulator reuses the analytics pieces directly.
 from repro.obsv.cat import (
     CatTable,
     cat_caches,
+    cat_exec,
     cat_faults,
     cat_nodes,
     cat_rules,
@@ -65,6 +66,7 @@ __all__ = [
     "WindowStats",
     "annotation_reason",
     "cat_caches",
+    "cat_exec",
     "cat_faults",
     "cat_nodes",
     "cat_rules",

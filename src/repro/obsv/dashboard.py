@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.obsv.cat import (
     _engine_docs,
     cat_caches,
+    cat_exec,
     cat_nodes,
     cat_rules,
     cat_shards,
@@ -125,6 +126,9 @@ def render_dashboard(db) -> str:
             ),
         ]
     sections += ["", "-- caches --", cat_caches(db).render()]
+    exec_table = cat_exec(db)
+    if len(exec_table):
+        sections += ["", "-- execution core --", exec_table.render()]
     sections += ["", "-- performance history --", performance_history(db)]
     if observer is not None:
         alerts = observer.recent_alerts(5)
@@ -178,6 +182,14 @@ def cluster_snapshot(db) -> dict:
     governor = getattr(db, "governor", None)
     if governor is not None:
         snapshot["tenancy"] = governor.snapshot(db.now)
+    if getattr(db, "executor", None) is not None:
+        # Only present when a non-serial backend is configured, mirroring
+        # the tenancy section: absent means "not in play", never "broken".
+        snapshot["exec"] = {
+            "backend": db.config.exec.backend,
+            "workers": db.config.exec.pool_size(),
+            "rows": cat_exec(db).to_dicts(),
+        }
     if observer is not None:
         snapshot["obsv"] = observer.snapshot()
     return snapshot

@@ -17,6 +17,7 @@ replication layer uses to demonstrate logical vs physical replication.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping
 
@@ -94,6 +95,12 @@ class ShardEngine:
     ) -> None:
         self.config = config
         self.shard_id = shard_id
+        #: Serializes every mutation (index/update/delete/refresh/flush/
+        #: merge/recovery) so the thread backend can apply concurrent bulk
+        #: batches safely. Reentrant because refresh → maybe_merge and
+        #: index → auto-refresh nest. Readers stay lock-free: they only
+        #: traverse the segment list, which is swapped atomically.
+        self._mutex = threading.RLock()
         self.translog = Translog()
         self.merge_policy = merge_policy or TieredMergePolicy()
         self._analyzer = analyzer or StandardAnalyzer()
@@ -139,31 +146,52 @@ class ShardEngine:
     def index(self, source: Mapping[str, Any]) -> int:
         """Insert one document; returns its row id."""
         doc = Document.from_source(source, self.config.schema)
-        self.translog.append("index", doc.doc_id, doc.source)
-        row_id = self._apply_index(doc)
-        self._maybe_auto_refresh()
-        return row_id
+        with self._mutex:
+            self.translog.append("index", doc.doc_id, doc.source)
+            row_id = self._apply_index(doc)
+            self._maybe_auto_refresh()
+            return row_id
+
+    def bulk_index(self, sources: list) -> list[int]:
+        """Insert a batch of documents under one lock acquisition; returns
+        their row ids in batch order. Semantically identical to calling
+        :meth:`index` per document (same translog entries, same auto-refresh
+        points) — the batch just amortizes the mutation lock."""
+        docs = [Document.from_source(source, self.config.schema) for source in sources]
+        row_ids = []
+        with self._mutex:
+            for doc in docs:
+                self.translog.append("index", doc.doc_id, doc.source)
+                row_ids.append(self._apply_index(doc))
+                self._maybe_auto_refresh()
+        return row_ids
 
     def update(self, doc_id: object, changes: Mapping[str, Any]) -> int:
         """Update a document by id (delete-then-reinsert, the Lucene model)."""
-        row_id = self._doc_locations.get(doc_id)
-        if row_id is None:
-            raise DocumentNotFoundError(f"doc {doc_id!r} not in shard {self.shard_id}")
-        existing = self._get_by_row(row_id)
-        merged_source = dict(existing.source)
-        merged_source.update(changes)
-        self.translog.append("update", doc_id, merged_source)
-        self._apply_delete(doc_id)
-        new_row = self._apply_index(Document(doc_id=doc_id, source=merged_source))
-        self._maybe_auto_refresh()
-        return new_row
+        with self._mutex:
+            row_id = self._doc_locations.get(doc_id)
+            if row_id is None:
+                raise DocumentNotFoundError(
+                    f"doc {doc_id!r} not in shard {self.shard_id}"
+                )
+            existing = self._get_by_row(row_id)
+            merged_source = dict(existing.source)
+            merged_source.update(changes)
+            self.translog.append("update", doc_id, merged_source)
+            self._apply_delete(doc_id)
+            new_row = self._apply_index(Document(doc_id=doc_id, source=merged_source))
+            self._maybe_auto_refresh()
+            return new_row
 
     def delete(self, doc_id: object) -> None:
         """Delete a document by id."""
-        if doc_id not in self._doc_locations:
-            raise DocumentNotFoundError(f"doc {doc_id!r} not in shard {self.shard_id}")
-        self.translog.append("delete", doc_id, None)
-        self._apply_delete(doc_id)
+        with self._mutex:
+            if doc_id not in self._doc_locations:
+                raise DocumentNotFoundError(
+                    f"doc {doc_id!r} not in shard {self.shard_id}"
+                )
+            self.translog.append("delete", doc_id, None)
+            self._apply_delete(doc_id)
 
     def _apply_index(self, doc: Document) -> int:
         if doc.doc_id in self._doc_locations:
@@ -234,49 +262,57 @@ class ShardEngine:
     # -- lifecycle --------------------------------------------------------------
     def refresh(self) -> Segment | None:
         """Seal buffered documents into a searchable segment (§3.3)."""
-        with self.telemetry.tracer.span("engine.refresh", shard=self.shard_id):
-            segment = self.buffer.refresh()
-            if segment is None:
-                return None
-            self.segments.append(segment)
-            self.generation += 1
-            self.stats.refreshes += 1
-            self._refresh_counter.inc()
-            for listener in self._refresh_listeners:
-                listener(segment)
-            self.maybe_merge()
-            return segment
+        with self._mutex:
+            with self.telemetry.tracer.span("engine.refresh", shard=self.shard_id):
+                segment = self.buffer.refresh()
+                if segment is None:
+                    return None
+                self.segments = self.segments + [segment]
+                self.generation += 1
+                self.stats.refreshes += 1
+                self._refresh_counter.inc()
+                for listener in self._refresh_listeners:
+                    listener(segment)
+                self.maybe_merge()
+                return segment
 
     def flush(self) -> None:
         """Make refreshed segments the durability floor: checkpoint and
         rotate the translog."""
-        self.refresh()
-        self.translog.mark_flushed(self.translog.last_sequence())
-        self.translog.truncate_before_flush()
-        self.stats.flushes += 1
-        self._flush_counter.inc()
+        with self._mutex:
+            self.refresh()
+            self.translog.mark_flushed(self.translog.last_sequence())
+            self.translog.truncate_before_flush()
+            self.stats.flushes += 1
+            self._flush_counter.inc()
 
     def maybe_merge(self) -> Segment | None:
         """Run one round of the merge policy; returns the merged segment."""
-        victims = self.merge_policy.select(self.segments)
-        if not victims:
-            return None
-        with self.telemetry.tracer.span(
-            "engine.merge", shard=self.shard_id, segments=len(victims)
-        ):
-            merged = merge_segments(victims, self._spec)
-            victim_ids = {s.segment_id for s in victims}
-            if self.filter_cache is not None:
-                for victim_id in victim_ids:
-                    self.filter_cache.invalidate_segment(victim_id)
-            self.segments = [s for s in self.segments if s.segment_id not in victim_ids]
-            self.segments.append(merged)
-            self.stats.merges += 1
-            self._merge_counter.inc()
-            self.stats.merge_cost += sum(s.live_count for s in victims)
-            for listener in self._merge_listeners:
-                listener(merged, victims)
-            return merged
+        with self._mutex:
+            victims = self.merge_policy.select(self.segments)
+            if not victims:
+                return None
+            with self.telemetry.tracer.span(
+                "engine.merge", shard=self.shard_id, segments=len(victims)
+            ):
+                merged = merge_segments(victims, self._spec)
+                victim_ids = {s.segment_id for s in victims}
+                if self.filter_cache is not None:
+                    for victim_id in victim_ids:
+                        self.filter_cache.invalidate_segment(victim_id)
+                # Swap in one assignment: a lock-free reader iterating the
+                # list sees either the old list (victims still present) or
+                # the new one (merged present) — never the gap between a
+                # remove and an append where live documents would vanish.
+                self.segments = [
+                    s for s in self.segments if s.segment_id not in victim_ids
+                ] + [merged]
+                self.stats.merges += 1
+                self._merge_counter.inc()
+                self.stats.merge_cost += sum(s.live_count for s in victims)
+                for listener in self._merge_listeners:
+                    listener(merged, victims)
+                return merged
 
     def recover_from_translog(self) -> int:
         """Rebuild unflushed state by replaying the translog (crash recovery).
@@ -285,15 +321,16 @@ class ShardEngine:
         by discarding buffer contents first (see tests).
         """
         replayed = 0
-        for entry in self.translog.recover():
-            if entry.op in ("index", "update"):
-                doc = Document(doc_id=entry.doc_id, source=dict(entry.source or {}))
-                self._apply_index(doc)
-            elif entry.op == "delete":
-                self._apply_delete(entry.doc_id)
-            else:
-                raise StorageError(f"unknown translog op {entry.op!r}")
-            replayed += 1
+        with self._mutex:
+            for entry in self.translog.recover():
+                if entry.op in ("index", "update"):
+                    doc = Document(doc_id=entry.doc_id, source=dict(entry.source or {}))
+                    self._apply_index(doc)
+                elif entry.op == "delete":
+                    self._apply_delete(entry.doc_id)
+                else:
+                    raise StorageError(f"unknown translog op {entry.op!r}")
+                replayed += 1
         return replayed
 
     def simulate_crash(self) -> None:
@@ -456,6 +493,22 @@ class ShardEngine:
             if values is not None:
                 lists.append(segment.filter_live(values.full_scan(predicate)))
         return PostingList.union_all(lists)
+
+    def multi_full_scan(
+        self, field_name: str, predicates: list[Callable[[Any], bool]]
+    ) -> list[PostingList]:
+        """Shared scan: evaluate every predicate over *field_name* with one
+        doc-values pass per segment, returning one posting list per
+        predicate — each identical to what :meth:`full_scan` would return
+        for that predicate alone."""
+        per_predicate: list[list[PostingList]] = [[] for _ in predicates]
+        for segment in self._searchable_segments():
+            values = segment.doc_values(field_name)
+            if values is None:
+                continue
+            for i, scanned in enumerate(values.multi_full_scan(predicates)):
+                per_predicate[i].append(segment.filter_live(scanned))
+        return [PostingList.union_all(lists) for lists in per_predicate]
 
     def fetch(self, rows: PostingList) -> list[Document]:
         """Fetch raw documents for a posting list (the coordinator's second

@@ -16,6 +16,7 @@ lives in :mod:`repro.telemetry.runtime` as no-op twins of these classes.
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Iterable, Iterator
 
 from repro.errors import ConfigurationError
@@ -232,24 +233,30 @@ class MetricsRegistry:
         self._series: dict[str, dict[tuple, Any]] = {}
         self._buckets: dict[str, tuple[float, ...]] = {}
         self._help: dict[str, str] = {}
+        # Registration is check-then-set over shared dicts; executor
+        # workers register series concurrently, so creation is serialized.
+        # Hot paths cache the returned metric object, so the lock is off
+        # the per-operation fast path wherever it matters.
+        self._registration = threading.RLock()
 
     # -- registration ------------------------------------------------------
     def _get(self, kind: str, name: str, labels: dict, factory) -> Any:
-        known = self._kinds.get(name)
-        if known is None:
-            self._kinds[name] = kind
-            self._series[name] = {}
-        elif known != kind:
-            raise ConfigurationError(
-                f"metric {name!r} is a {known}, requested as {kind}"
-            )
-        key = _label_key(labels)
-        series = self._series[name]
-        metric = series.get(key)
-        if metric is None:
-            metric = factory()
-            series[key] = metric
-        return metric
+        with self._registration:
+            known = self._kinds.get(name)
+            if known is None:
+                self._kinds[name] = kind
+                self._series[name] = {}
+            elif known != kind:
+                raise ConfigurationError(
+                    f"metric {name!r} is a {known}, requested as {kind}"
+                )
+            key = _label_key(labels)
+            series = self._series[name]
+            metric = series.get(key)
+            if metric is None:
+                metric = factory()
+                series[key] = metric
+            return metric
 
     def counter(self, name: str, **labels) -> Counter:
         return self._get("counter", name, labels, lambda: Counter(name, labels))
@@ -259,13 +266,14 @@ class MetricsRegistry:
 
     def histogram(self, name: str, buckets: tuple[float, ...] | None = None,
                   **labels) -> Histogram:
-        if buckets is not None:
-            existing = self._buckets.setdefault(name, tuple(buckets))
-            if existing != tuple(buckets):
-                raise ConfigurationError(
-                    f"histogram {name!r} already registered with different buckets"
-                )
-        chosen = self._buckets.get(name, DEFAULT_BUCKETS)
+        with self._registration:
+            if buckets is not None:
+                existing = self._buckets.setdefault(name, tuple(buckets))
+                if existing != tuple(buckets):
+                    raise ConfigurationError(
+                        f"histogram {name!r} already registered with different buckets"
+                    )
+            chosen = self._buckets.get(name, DEFAULT_BUCKETS)
         return self._get(
             "histogram", name, labels, lambda: Histogram(name, labels, buckets=chosen)
         )

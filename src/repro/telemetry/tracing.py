@@ -17,6 +17,7 @@ twin whose ``span()`` returns a shared singleton context manager.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Any, Callable, Iterator
@@ -125,8 +126,10 @@ class _SpanContext:
 class Tracer:
     """Opens nested spans and collects finished traces.
 
-    Single-threaded by design (matching the rest of the reproduction): the
-    open-span stack *is* the propagated context.
+    The open-span stack *is* the propagated context. The stack is kept
+    per-thread (thread-local), so spans opened on an executor worker nest
+    under that worker's own root and never parent across threads; the
+    ``finished`` ring buffer is shared (deque appends are atomic).
     """
 
     enabled = True
@@ -139,8 +142,15 @@ class Tracer:
         if max_finished < 1:
             raise ValueError("max_finished must be >= 1")
         self.clock = clock
-        self._stack: list[Span] = []
+        self._local = threading.local()
         self.finished: deque = deque(maxlen=max_finished)
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     def span(self, name: str, **tags) -> _SpanContext:
         """Open a span named *name* as a child of the current span."""

@@ -55,6 +55,7 @@ class _TenantState:
         "admitted",
         "queued",
         "shed",
+        "cpu_seconds",
     )
 
     def __init__(self, config: TenancyConfig, qos: str) -> None:
@@ -66,6 +67,7 @@ class _TenantState:
         self.admitted = 0
         self.queued = 0
         self.shed = 0
+        self.cpu_seconds = 0.0
 
 
 class TenantGovernor:
@@ -206,6 +208,30 @@ class TenantGovernor:
             ledger.charge("result_bytes", result_bytes, now)
         if scanned:
             ledger.charge("scanned_docs", scanned, now)
+
+    def charge_cpu(self, tenant: object | None, seconds: float, op: str = "") -> None:
+        """Account CPU time a tenant's work consumed, measured where the
+        work actually executed (a bulk batch on its shard's worker, a shard
+        subquery on the pool) — the per-tenant *CPU* accounting ROADMAP
+        item 3 deferred until the execution layer existed. Accounting only:
+        it never sheds load, so admission decisions (and with them the
+        chaos fingerprints) are unchanged."""
+        tenant = CLUSTER_TENANT if tenant is None else tenant
+        self._state(tenant).cpu_seconds += seconds
+        if self._metrics is not None:
+            # Labeled by operation only — tenant cardinality stays out of
+            # the registry; per-tenant totals live on the states and
+            # surface through cat_tenant_governance / cpu_seconds().
+            self._metrics.counter("tenancy_cpu_seconds_total", op=op or "other").inc(
+                seconds
+            )
+
+    def cpu_seconds(self, tenant: object | None = None) -> float:
+        """CPU seconds charged to *tenant* (every tenant when None)."""
+        if tenant is not None:
+            state = self._tenants.get(tenant)
+            return state.cpu_seconds if state is not None else 0.0
+        return sum(state.cpu_seconds for state in self._tenants.values())
 
     def _admit(
         self,

@@ -33,6 +33,7 @@ QUICK_SET = [
     "sim.write_static",
     "chaos.crash_failover",
     "tenancy.qos_ordering",
+    "exec.shared_scan",
 ]
 
 
