@@ -30,7 +30,7 @@ from repro.telemetry.metrics import summarize
 SCHEMA_VERSION = 1
 
 #: The scenario families the suite must span (acceptance floor).
-FAMILIES = ("write", "query", "storage", "sim", "chaos", "tenancy", "exec")
+FAMILIES = ("write", "query", "storage", "sim", "chaos", "tenancy", "exec", "trace")
 
 
 @dataclass(frozen=True)

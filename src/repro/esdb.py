@@ -40,6 +40,7 @@ from repro.obsv import runtime as obsv_runtime
 from repro.obsv.cat import (
     CatTable,
     cat_caches,
+    cat_events,
     cat_exec,
     cat_faults,
     cat_nodes,
@@ -50,7 +51,12 @@ from repro.obsv.cat import (
 )
 from repro.obsv.dashboard import cluster_snapshot, render_dashboard
 from repro.consensus import ConsensusConfig, ConsensusMaster, Participant, RuleProposal
-from repro.errors import ConsensusAborted, EsdbError, QueryError
+from repro.errors import (
+    ConsensusAborted,
+    EsdbError,
+    QueryError,
+    TenantThrottledError,
+)
 from repro.exec import BulkItemResult, BulkResult, ExecConfig, ShardExecutor
 from repro.exec import execute_batch as _shared_execute_batch
 from repro.query import (
@@ -73,7 +79,18 @@ from repro.routing import (
     RoutingPolicy,
 )
 from repro.storage import EngineConfig, Schema, ShardEngine
-from repro.telemetry import NULL_TELEMETRY, Span, Telemetry, Tracer
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    EventLog,
+    Span,
+    Telemetry,
+    TraceConfig,
+    TraceContext,
+    TraceIdGenerator,
+    Tracer,
+    build_sampler,
+    current_context,
+)
 from repro.tenancy import (
     TenancyConfig,
     TenantGovernor,
@@ -149,6 +166,15 @@ class EsdbConfig:
             worker pool with deterministic (shard-id-ordered) merges, and
             enables SharedDB-style query coalescing in
             :meth:`ESDB.execute_batch`.
+        tracing: request-scoped distributed tracing
+            (:mod:`repro.telemetry.context`). Enabled by default: every
+            top-level operation gets a deterministic seed-derived
+            W3C-shaped trace id, propagated across executor workers, with
+            head-based sampling (``always`` / ``ratio`` / ``slow-tail``),
+            trace-id exemplars on latency histograms, and a structured
+            event log behind :meth:`ESDB.cat_events` and
+            :meth:`ESDB.diagnostics_bundle`. ``TraceConfig.off()``
+            restores the pre-trace span trees bit-for-bit.
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -169,6 +195,7 @@ class EsdbConfig:
     timeseries_capacity: int = 240
     tenancy: TenancyConfig = field(default_factory=TenancyConfig)
     exec: ExecConfig = field(default_factory=ExecConfig)
+    tracing: TraceConfig = field(default_factory=TraceConfig)
 
 
 class ESDB:
@@ -187,6 +214,18 @@ class ESDB:
             telemetry = Telemetry() if self.config.telemetry_enabled else NULL_TELEMETRY
         self.telemetry = telemetry
         self.instance = f"esdb{next(_INSTANCE_IDS)}"
+        tracing = self.config.tracing
+        self.trace_ids: TraceIdGenerator | None = None
+        self.trace_sampler = None
+        if tracing.enabled:
+            trace_seed = (
+                tracing.seed if tracing.seed is not None else self.config.topology.seed
+            )
+            self.trace_ids = TraceIdGenerator(trace_seed)
+            self.trace_sampler = build_sampler(tracing)
+        #: Structured operational event log (always present; emission sites
+        #: stamp the active trace id when tracing is on).
+        self.events = EventLog(capacity=tracing.events_capacity)
         self.cluster = Cluster(self.config.topology)
         self.policy = policy or DynamicSecondaryHashRouting(self.cluster.num_shards)
         if self.policy.num_shards != self.cluster.num_shards:
@@ -318,6 +357,42 @@ class ESDB:
     def now(self) -> float:
         return self._clock
 
+    # -- tracing -----------------------------------------------------------------
+    def _new_trace(self, op: str) -> TraceContext | None:
+        """A fresh deterministic trace context for one top-level *op*, or
+        None with tracing disabled (span trees then match the pre-trace
+        era bit-for-bit, chaos fingerprints included)."""
+        if self.trace_ids is None:
+            return None
+        return self.trace_ids.next_context(op)
+
+    def _emit_event(
+        self,
+        kind: str,
+        tenant: object | None = None,
+        shard: int | None = None,
+        ctx: TraceContext | None = None,
+        **detail,
+    ) -> None:
+        """Record one operational event at the instance's logical clock,
+        stamped with *ctx*'s trace id (falling back to the thread's active
+        context, so callees deep in a traced operation attribute right)."""
+        if ctx is None:
+            ctx = current_context()
+        self.events.emit(
+            kind,
+            self._clock,
+            tenant=str(tenant) if tenant is not None else None,
+            shard=shard,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            **detail,
+        )
+
+    def trace(self, trace_id: str) -> Span | None:
+        """Look up a finished trace by id over the tracer's retained ring:
+        alert → slow-log line (``trace=...``) → full span tree."""
+        return self.telemetry.tracer.find_trace(trace_id)
+
     # -- write path ------------------------------------------------------------
     def write(self, source: Mapping[str, Any]) -> int:
         """Route and execute one document write; returns the shard id.
@@ -332,7 +407,8 @@ class ESDB:
         """
         telemetry = self.telemetry
         tracer = telemetry.tracer
-        with tracer.span("write") as span:
+        ctx = self._new_trace("write")
+        with tracer.trace("write", ctx, sampler=self.trace_sampler) as span:
             schema = self.config.schema
             tenant_id = source[schema.tenant_field]
             doc_id = source[schema.id_field]
@@ -341,13 +417,20 @@ class ESDB:
             if self.governor is not None:
                 # Sizing a document costs a str() per field; only pay it
                 # when an indexed-byte budget actually consumes the number.
-                self.governor.admit_write(
-                    tenant_id,
-                    self._clock,
-                    doc_bytes(source)
-                    if self.governor.config.indexed_bytes_quota is not None
-                    else 0,
-                )
+                try:
+                    self.governor.admit_write(
+                        tenant_id,
+                        self._clock,
+                        doc_bytes(source)
+                        if self.governor.config.indexed_bytes_quota is not None
+                        else 0,
+                    )
+                except TenantThrottledError as exc:
+                    self._emit_event(
+                        "shed" if exc.budget == "queue" else "throttle",
+                        tenant=tenant_id, ctx=ctx, op="write", budget=exc.budget,
+                    )
+                    raise
             with tracer.span("write.route", policy=self.policy.name):
                 shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
             with tracer.span("write.index", shard=shard_id):
@@ -366,10 +449,13 @@ class ESDB:
                     parse_attributes(str(raw_attributes)).keys()
                 )
         metrics = telemetry.metrics
+        exemplar = ctx.trace_id if ctx is not None and ctx.sampled else None
         metrics.counter("esdb_writes_total", shard=shard_id).inc()
         if telemetry.enabled:
             span.tags["shard"] = shard_id
-            metrics.histogram("esdb_write_seconds").observe(span.duration)
+            metrics.histogram("esdb_write_seconds").observe(
+                span.duration, trace_id=exemplar
+            )
         if self.obsv is not None:
             self.obsv.record_write(
                 tenant_id,
@@ -377,6 +463,7 @@ class ESDB:
                 span.duration,
                 self._clock,
                 trace=span if telemetry.enabled else None,
+                trace_id=ctx.trace_id if ctx is not None else None,
             )
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
@@ -414,7 +501,10 @@ class ESDB:
         items: list[BulkItemResult | None] = [None] * len(sources)
         tenants: list[object] = [None] * len(sources)
         groups: dict[int, list[tuple[int, object, object, Mapping[str, Any]]]] = {}
-        with tracer.span("bulk_write", docs=len(sources)) as span:
+        ctx = self._new_trace("bulk_write")
+        with tracer.trace(
+            "bulk_write", ctx, sampler=self.trace_sampler, docs=len(sources)
+        ) as span:
             stopped_at: int | None = None
             with tracer.span("bulk.route", policy=self.policy.name):
                 for position, source in enumerate(sources):
@@ -436,6 +526,12 @@ class ESDB:
                             tenant_id, doc_id, created_time
                         )
                     except Exception as exc:
+                        if isinstance(exc, TenantThrottledError):
+                            self._emit_event(
+                                "shed" if exc.budget == "queue" else "throttle",
+                                tenant=exc.tenant, ctx=ctx,
+                                op="bulk_write", budget=exc.budget,
+                            )
                         items[position] = BulkItemResult(
                             position=position, doc_id=doc_id, ok=False, error=exc
                         )
@@ -484,8 +580,9 @@ class ESDB:
         per_doc = duration / len(sources) if sources else 0.0
         if telemetry.enabled and applied:
             histogram = metrics.histogram("esdb_write_seconds")
+            exemplar = ctx.trace_id if ctx is not None and ctx.sampled else None
             for _ in range(applied):
-                histogram.observe(per_doc)
+                histogram.observe(per_doc, trace_id=exemplar)
         if self.obsv is not None:
             for item in items:
                 if item is not None and item.ok:
@@ -495,6 +592,7 @@ class ESDB:
                         per_doc,
                         self._clock,
                         trace=None,
+                        trace_id=ctx.trace_id if ctx is not None else None,
                     )
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
@@ -641,6 +739,7 @@ class ESDB:
         promoted = replica_set.promote()
         promoted.refresh()
         self.engines[shard_id] = promoted
+        self._emit_event("promotion", shard=shard_id)
         if not replica_set.replicators:
             del self.replica_sets[shard_id]
         # The shard's engine object (and its generation counter) changed:
@@ -677,7 +776,10 @@ class ESDB:
         if not isinstance(self.policy, DynamicSecondaryHashRouting):
             return []
         metrics = self.telemetry.metrics
-        with self.telemetry.tracer.span("balance.round"):
+        ctx = self._new_trace("rebalance")
+        with self.telemetry.tracer.trace(
+            "balance.round", ctx, sampler=self.trace_sampler
+        ):
             self.monitor.roll_window(self._clock)
             if self.obsv is not None:
                 # Same clock, same window length: the observer's skew window
@@ -685,7 +787,11 @@ class ESDB:
                 # alert and the rule it triggers share one measurement.
                 self.obsv.roll(self._clock)
                 if self.governor is not None and self.obsv.last_alerts:
-                    self.governor.apply_alerts(self.obsv.last_alerts, self._clock)
+                    demoted = self.governor.apply_alerts(
+                        self.obsv.last_alerts, self._clock
+                    )
+                    for tenant in demoted:
+                        self._emit_event("demotion", tenant=tenant, ctx=ctx)
             committed = []
             for proposal in self.balancer.rebalance():
                 try:
@@ -708,6 +814,13 @@ class ESDB:
                         proposal.offset,
                         outcome.effective_time,
                     )
+                self._emit_event(
+                    "rule_commit",
+                    tenant=proposal.tenant_id,
+                    ctx=ctx,
+                    offset=proposal.offset,
+                    effective_time=outcome.effective_time,
+                )
                 committed.append(
                     (proposal.tenant_id, proposal.offset, outcome.effective_time)
                 )
@@ -740,6 +853,10 @@ class ESDB:
         result, root = self._execute_traced(tracer, sql=sql)
         root.tags["rows"] = len(result.rows)
         root.tags["total_hits"] = result.total_hits
+        if root.trace_id is not None:
+            # Surface the id in render() output so an EXPLAIN ANALYZE can
+            # be cross-referenced with slow-log entries and cat_events.
+            root.tags["trace_id"] = root.trace_id
         return root
 
     def _rule_version(self) -> int:
@@ -763,6 +880,7 @@ class ESDB:
         shard_ids: list[int] = []
         governor = self.governor
         query_tenant = None
+        ctx = self._new_trace("query")
         if governor is not None:
             # Admission needs the target tenant before the pipeline runs.
             # Raw SQL is parsed up front and the parse reused downstream — a
@@ -786,8 +904,15 @@ class ESDB:
                 while len(self._query_tenant_cache) >= 512:
                     self._query_tenant_cache.popitem(last=False)
                 self._query_tenant_cache[sql] = query_tenant
-            governor.admit_query(query_tenant, self._clock)
-        with tracer.span("query") as root:
+            try:
+                governor.admit_query(query_tenant, self._clock)
+            except TenantThrottledError as exc:
+                self._emit_event(
+                    "shed" if exc.budget == "queue" else "throttle",
+                    tenant=query_tenant, ctx=ctx, op="query", budget=exc.budget,
+                )
+                raise
+        with tracer.trace("query", ctx, sampler=self.trace_sampler) as root:
             result_key = None
             if self.result_cache is not None:
                 fingerprint = (
@@ -835,19 +960,31 @@ class ESDB:
         if not cache_hit:
             metrics.counter("esdb_subqueries_total").inc(len(shard_ids))
             if self.telemetry.enabled:
-                metrics.histogram("esdb_query_seconds").observe(root.duration)
+                metrics.histogram("esdb_query_seconds").observe(
+                    root.duration,
+                    trace_id=ctx.trace_id if ctx is not None and ctx.sampled else None,
+                )
         if self.obsv is not None:
             if sql is not None:
                 detail = sql.strip()
             else:
                 detail = statement_fingerprint(statement) if statement else ""
-            self.obsv.record_search(
+            slow_entry = self.obsv.record_search(
                 self._statement_tenant(statement),
                 root.duration,
                 self._clock,
                 detail=detail,
                 trace=root,
+                trace_id=ctx.trace_id if ctx is not None else None,
             )
+            if slow_entry is not None:
+                self._emit_event(
+                    "slow_query",
+                    tenant=slow_entry.tenant,
+                    ctx=ctx,
+                    level=slow_entry.level,
+                    elapsed=slow_entry.elapsed,
+                )
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
         return result, root
@@ -908,7 +1045,7 @@ class ESDB:
         )
         if self.executor is not None and len(shard_ids) > 1:
             shard_results = self._parallel_shard_results(
-                root, plan, statement, shard_ids, statement_key, push_limit
+                tracer, root, plan, statement, shard_ids, statement_key, push_limit
             )
         else:
             shard_results = []
@@ -976,6 +1113,7 @@ class ESDB:
 
     def _parallel_shard_results(
         self,
+        tracer,
         root: Span,
         plan,
         statement: SelectStatement,
@@ -987,45 +1125,67 @@ class ESDB:
         and merge in shard-id order — results never depend on completion
         order, so the thread backend's answers equal the serial backend's.
 
-        Workers run outside the tracer context (span stacks are
-        thread-local); the coordinator reconstructs one ``query.shard[i]``
-        span per shard from the workers' measured start/end times so
-        ``explain_analyze`` keeps its per-shard breakdown."""
+        Each worker records its real span tree on a private single-trace
+        :class:`Tracer` (span stacks are thread-local, so it cannot nest
+        under the coordinator's open span directly); the coordinator
+        re-parents the finished ``query.shard[i]`` roots under *root* in
+        shard-id order, producing a tree structurally identical to the
+        serial backend's. Deterministic span ids are assigned afterwards,
+        at root close, so thread scheduling never leaks into the ids.
+        Workers skip recording entirely when the coordinator tracer is
+        disabled or the propagated trace context is head-unsampled."""
         governor = self.governor
         query_tenant = (
             self._statement_tenant(statement) if governor is not None else None
         )
+        record_spans = bool(getattr(tracer, "enabled", False))
 
-        def run_shard(shard_id: int):
-            started = time.perf_counter()
-            cache_hit = False
-            entry = None
+        def shard_entry(shard_id: int, wtracer) -> tuple[tuple, bool]:
+            engine = self.engines[shard_id]
             if statement_key is not None:
                 entry = self.request_cache.get(
-                    shard_id, statement_key, self.engines[shard_id].generation
+                    shard_id, statement_key, engine.generation
                 )
-                cache_hit = entry is not None
-            if entry is None:
-                entry, _ = self._shard_subquery(
-                    shard_id, plan, statement, statement_key, push_limit
-                )
-            elapsed = time.perf_counter() - started
+                if entry is not None:
+                    if wtracer is not None:
+                        # Subquery skipped: a cache.hit span stands in for
+                        # the executor subtree, exactly as in the serial path.
+                        with wtracer.span("cache.hit", level="request"):
+                            pass
+                    return entry, True
+            entry, _ = self._shard_subquery(
+                shard_id, plan, statement, statement_key, push_limit
+            )
+            return entry, False
+
+        def run_shard(shard_id: int):
+            ctx = current_context()
+            record = record_spans and (ctx is None or ctx.sampled)
+            wtracer = Tracer(max_finished=1) if record else None
+            started = time.perf_counter()
+            if wtracer is not None:
+                with wtracer.span(f"query.shard[{shard_id}]") as sub_span:
+                    entry, cache_hit = shard_entry(shard_id, wtracer)
+                    # Tag insertion order mirrors the serial branch so the
+                    # rendered trees compare byte-for-byte across backends.
+                    if cache_hit:
+                        sub_span.tags["cache"] = "hit"
+                    sub_span.tags["matched"] = entry[1]
+                worker_root = wtracer.last_trace()
+            else:
+                entry, _ = shard_entry(shard_id, None)
+                worker_root = None
             if governor is not None:
-                governor.charge_cpu(query_tenant, elapsed, op="query")
-            return entry, cache_hit, started, time.perf_counter()
+                governor.charge_cpu(
+                    query_tenant, time.perf_counter() - started, op="query"
+                )
+            return entry, worker_root
 
         outcomes = self.executor.map_ordered(run_shard, shard_ids, phase="query")
         shard_results = []
-        for shard_id, (entry, cache_hit, started, ended) in zip(shard_ids, outcomes):
-            sub_span = Span(f"query.shard[{shard_id}]")
-            sub_span.start, sub_span.end = started, ended
-            sub_span.tags["matched"] = entry[1]
-            if cache_hit:
-                hit_span = Span("cache.hit", {"level": "request"})
-                hit_span.start, hit_span.end = started, ended
-                sub_span.children.append(hit_span)
-                sub_span.tags["cache"] = "hit"
-            root.children.append(sub_span)
+        for entry, worker_root in outcomes:
+            if worker_root is not None:
+                root.children.append(worker_root)
             shard_results.append(entry)
         return shard_results
 
@@ -1099,10 +1259,29 @@ class ESDB:
         a serial instance that never bulk-wrote or batched queries)."""
         return cat_exec(self)
 
+    def cat_events(
+        self,
+        kind: str | None = None,
+        tenant: str | None = None,
+        trace_id: str | None = None,
+        k: int | None = None,
+    ) -> CatTable:
+        """Structured event log (throttles, demotions, faults, promotions,
+        slow queries, rule commits), filterable by kind/tenant/trace."""
+        return cat_events(self, kind=kind, tenant=tenant, trace_id=trace_id, k=k)
+
     def cat_timeseries(self, k: int | None = None) -> CatTable:
         """Performance history: one row per recorded time series with a
         sparkline over the retained window (top-*k* by name when given)."""
         return cat_timeseries(self, k=k)
+
+    def diagnostics_bundle(self) -> dict:
+        """One-call flight recording: config summary, cat tables, time
+        series, recent traces, events and slow logs in a single JSON-ready
+        dict (see :mod:`repro.obsv.bundle` for the schema)."""
+        from repro.obsv.bundle import diagnostics_bundle
+
+        return diagnostics_bundle(self)
 
     def sample_timeseries(self, now: float | None = None, force: bool = False) -> bool:
         """Take a performance-history sample at *now* (default: the

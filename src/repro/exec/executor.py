@@ -24,6 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Sequence
 
 from repro.exec.config import ExecConfig
+from repro.telemetry.context import activate_context, current_context
 
 
 class ShardExecutor:
@@ -62,9 +63,15 @@ class ShardExecutor:
         """
         if self._pool is None or len(keys) <= 1:
             return [self._run_task(fn, key, phase, pooled=False) for key in keys]
+        # The submitting thread's trace context rides along to every
+        # worker: each task re-activates it for the duration of fn(key),
+        # so per-shard work knows which request it belongs to.
+        context = current_context()
         self._note_pending(len(keys))
         futures = [
-            self._pool.submit(self._run_task, fn, key, phase, pooled=True)
+            self._pool.submit(
+                self._run_task, fn, key, phase, pooled=True, context=context
+            )
             for key in keys
         ]
         results = []
@@ -79,13 +86,16 @@ class ShardExecutor:
             raise error
         return results
 
-    def _run_task(self, fn, key, phase: str, pooled: bool = False):
+    def _run_task(self, fn, key, phase: str, pooled: bool = False, context=None):
         # ``pooled`` is decided at submission time, not by probing
         # self._pool here: a single-key call on a live pool runs inline
         # on the caller's thread and must neither touch the queue gauge
         # (it was never enqueued) nor count as a worker task.
         start = time.perf_counter()
         try:
+            if context is not None:
+                with activate_context(context):
+                    return fn(key)
             return fn(key)
         finally:
             elapsed = time.perf_counter() - start

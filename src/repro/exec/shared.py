@@ -146,10 +146,29 @@ def _execute_family(db, column: str, members: list) -> list:
             entries.append(([doc.source for doc in engine.fetch(rows)], len(rows)))
         return entries
 
-    if db.executor is not None:
-        per_shard = db.executor.map_ordered(scan_shard, shard_ids, phase="shared")
+    def run_fanout() -> list:
+        if db.executor is not None:
+            return db.executor.map_ordered(scan_shard, shard_ids, phase="shared")
+        return [scan_shard(shard_id) for shard_id in shard_ids]
+
+    ctx = db._new_trace("execute_batch")
+    if ctx is not None:
+        # The shared pass gets its own trace; every member statement gets
+        # its own context, attached as span links — SharedDB's attribution
+        # fix: the scan's cost is creditable to all N statements, not just
+        # whichever one happened to trigger the group.
+        member_contexts = [db._new_trace("query") for _ in members]
+        with db.telemetry.tracer.trace(
+            f"batch.scan[{column}]",
+            ctx,
+            sampler=db.trace_sampler,
+            members=len(members),
+        ) as span:
+            for member_ctx in member_contexts:
+                span.add_link(member_ctx.trace_id)
+            per_shard = run_fanout()
     else:
-        per_shard = [scan_shard(shard_id) for shard_id in shard_ids]
+        per_shard = run_fanout()
 
     metrics = db.telemetry.metrics
     results = []

@@ -23,6 +23,13 @@ from typing import Mapping
 from repro.errors import FaultInjectionError
 from repro.faults.plan import FAULT_KINDS, ONE_SHOT_KINDS
 from repro.storage.translog import TranslogEntry
+from repro.telemetry.context import current_context
+
+#: Fault kinds whose target is a shard id (fills the event log's shard
+#: column); the rest target nodes or the whole cluster.
+_SHARD_TARGETED = frozenset(
+    {"slow_replica", "corrupt_translog", "crash_primary", "blackhole_dispatch"}
+)
 
 
 @dataclass
@@ -68,6 +75,7 @@ class FaultInjector:
             self.active[key] = ActiveFault(kind, target, dict(params), at, undo)
         self._count("faults_injected_total", kind)
         self.log.append((at, "inject", kind, target, detail))
+        self._emit("fault_inject", at, kind, target)
         return detail
 
     def recover(self, kind: str | None = None, target: object = None,
@@ -86,6 +94,7 @@ class FaultInjector:
             detail = handler(fault.target, fault.undo)
             self._count("faults_recovered_total", fault.kind)
             self.log.append((at, "recover", fault.kind, fault.target, detail))
+            self._emit("fault_recover", at, fault.kind, fault.target)
         return len(matched)
 
     def active_faults(self) -> list[ActiveFault]:
@@ -96,6 +105,25 @@ class FaultInjector:
 
     def _count(self, name: str, kind: str) -> None:
         self.telemetry.metrics.counter(name, kind=kind).inc()
+
+    def _emit(self, event_kind: str, at: float, fault_kind: str, target) -> None:
+        """Mirror one log row into the instance's structured event log.
+
+        Duck-typed so an injector built around a bare test double (no
+        ``events`` attribute) keeps working; the shard column is filled
+        only for shard-targeted fault kinds."""
+        events = getattr(self.db, "events", None)
+        if events is None:
+            return
+        shard = target if fault_kind in _SHARD_TARGETED else None
+        events.emit(
+            event_kind,
+            at,
+            shard=shard,
+            trace_id=getattr(current_context(), "trace_id", None),
+            fault=fault_kind,
+            target=target,
+        )
 
     def _participant(self, node_id: int):
         name = f"node-{node_id}"

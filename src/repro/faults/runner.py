@@ -63,6 +63,10 @@ class ChaosConfig:
             batches on a pool — every fingerprint quantity is
             deterministic, so serial and threads runs of the same plan
             must produce the same fingerprint).
+        tracing: a :class:`~repro.telemetry.TraceConfig` for the instance
+            under chaos (None uses the instance default). Fingerprints
+            must be bit-identical whether tracing is on or off — trace-id
+            allocation never touches the workload's RNG or clocks.
     """
 
     steps: int = 400
@@ -78,6 +82,7 @@ class ChaosConfig:
     flood_factor: int = 0
     tenancy: object | None = None
     exec_backend: str = "serial"
+    tracing: object | None = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -205,6 +210,8 @@ class ChaosRunner:
             from repro.exec import ExecConfig
 
             esdb_kwargs["exec"] = ExecConfig(backend=self.config.exec_backend)
+        if self.config.tracing is not None:
+            esdb_kwargs["tracing"] = self.config.tracing
         self.db = ESDB(
             EsdbConfig(
                 topology=ClusterTopology(

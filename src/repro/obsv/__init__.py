@@ -14,16 +14,26 @@ The operator surface on top of :mod:`repro.telemetry`:
   measurement that annotates each committed routing rule ("why did
   L(k1) grow");
 * a text **dashboard** / JSON snapshot (:func:`render_dashboard`,
-  :func:`cluster_snapshot`, ``python -m repro.obsv``).
+  :func:`cluster_snapshot`, ``python -m repro.obsv``);
+* the **structured event log** table (:func:`cat_events`) and the
+  flight-recorder **diagnostics bundle** (:func:`diagnostics_bundle`,
+  :func:`validate_bundle`, ``python -m repro.obsv --bundle out.json``) —
+  one JSON capture of traces, events, metrics, faults and slow logs.
 
 One :class:`Observer` per database instance glues it together; the ESDB
 facade builds it from :class:`ObsvConfig` (``EsdbConfig.obsv``) and the
 simulator reuses the analytics pieces directly.
 """
 
+from repro.obsv.bundle import (
+    BUNDLE_SCHEMA_VERSION,
+    diagnostics_bundle,
+    validate_bundle,
+)
 from repro.obsv.cat import (
     CatTable,
     cat_caches,
+    cat_events,
     cat_exec,
     cat_faults,
     cat_nodes,
@@ -56,6 +66,7 @@ from repro.obsv.slowlog import SlowLog, SlowLogEntry
 
 __all__ = [
     "Alert",
+    "BUNDLE_SCHEMA_VERSION",
     "CatTable",
     "DISABLED",
     "Observer",
@@ -66,6 +77,7 @@ __all__ = [
     "WindowStats",
     "annotation_reason",
     "cat_caches",
+    "cat_events",
     "cat_exec",
     "cat_faults",
     "cat_nodes",
@@ -74,6 +86,7 @@ __all__ = [
     "cat_tenants",
     "cat_timeseries",
     "cluster_snapshot",
+    "diagnostics_bundle",
     "coefficient_of_variation",
     "detect_alerts",
     "gini",
@@ -83,4 +96,5 @@ __all__ = [
     "rule_measurement",
     "shard_heatmap",
     "summarize_windows",
+    "validate_bundle",
 ]

@@ -1,0 +1,127 @@
+"""The flight-recorder diagnostics bundle: one JSON dump of everything.
+
+``diagnostics_bundle(db)`` captures the full observability surface of a
+live instance in a single JSON-ready dict — the artifact an operator (or
+CI) attaches to a bug report so the failure can be diagnosed without
+reproducing it: cluster snapshot, metric registry, recent trace trees,
+the structured event log, the fault log and the slow-log tails. The shape
+is versioned (:data:`BUNDLE_SCHEMA_VERSION`) and checked by
+:func:`validate_bundle`, which returns a list of problems (empty = valid)
+instead of raising — CI treats a non-empty list as a failed smoke step.
+"""
+
+from __future__ import annotations
+
+from repro.obsv.cat import cat_events, cat_faults
+from repro.obsv.dashboard import cluster_snapshot
+from repro.telemetry.events import EVENT_KINDS
+
+#: Bumped whenever a required key is added/renamed; validators pin it.
+BUNDLE_SCHEMA_VERSION = 1
+
+#: Top-level keys every bundle must carry, with their required types.
+_REQUIRED_KEYS: dict[str, type] = {
+    "schema_version": int,
+    "kind": str,
+    "time": float,
+    "cluster": dict,
+    "metrics": dict,
+    "events": dict,
+    "faults": list,
+    "traces": list,
+    "tracing": dict,
+}
+
+#: Maximum finished traces serialised into a bundle.
+MAX_BUNDLE_TRACES = 20
+
+
+def _trace_dicts(db, limit: int = MAX_BUNDLE_TRACES) -> list:
+    """The most recent finished root spans as dicts, oldest first."""
+    tracer = getattr(db.telemetry, "tracer", None)
+    finished = list(getattr(tracer, "finished", ()) or ())
+    return [span.to_dict() for span in finished[-limit:]]
+
+
+def _tracing_summary(db) -> dict:
+    """The effective tracing configuration plus id-generator progress."""
+    config = getattr(db.config, "tracing", None)
+    generator = getattr(db, "trace_ids", None)
+    return {
+        "enabled": bool(config is not None and config.enabled),
+        "sampler": config.sampler if config is not None else "always",
+        "ratio": config.ratio if config is not None else 1.0,
+        "slow_tail_seconds": (
+            config.slow_tail_seconds if config is not None else 0.0
+        ),
+        "traces_started": generator.issued if generator is not None else 0,
+    }
+
+
+def diagnostics_bundle(db) -> dict:
+    """One JSON-ready flight recording of *db*'s observable state."""
+    events = getattr(db, "events", None)
+    return {
+        "schema_version": BUNDLE_SCHEMA_VERSION,
+        "kind": "esdb-diagnostics",
+        "time": float(db.now),
+        "cluster": cluster_snapshot(db),
+        "metrics": db.telemetry.metrics.snapshot(),
+        "events": {
+            "counts": events.counts() if events is not None else {},
+            "total": events.total if events is not None else 0,
+            "entries": cat_events(db).to_dicts(),
+        },
+        "faults": cat_faults(db).to_dicts(),
+        "traces": _trace_dicts(db),
+        "tracing": _tracing_summary(db),
+    }
+
+
+def validate_bundle(bundle) -> list[str]:
+    """Check *bundle* against the schema; returns problems (empty = valid).
+
+    Deliberately a linter, not an exception: CI prints every problem at
+    once rather than stopping at the first."""
+    problems: list[str] = []
+    if not isinstance(bundle, dict):
+        return [f"bundle must be a dict, got {type(bundle).__name__}"]
+    for key, expected in _REQUIRED_KEYS.items():
+        if key not in bundle:
+            problems.append(f"missing required key {key!r}")
+        elif expected is float:
+            if not isinstance(bundle[key], (int, float)):
+                problems.append(f"{key!r} must be a number")
+        elif not isinstance(bundle[key], expected):
+            problems.append(f"{key!r} must be {expected.__name__}")
+    if problems:
+        return problems
+    if bundle["schema_version"] != BUNDLE_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {bundle['schema_version']} != "
+            f"{BUNDLE_SCHEMA_VERSION}"
+        )
+    if bundle["kind"] != "esdb-diagnostics":
+        problems.append(f"kind must be 'esdb-diagnostics', got {bundle['kind']!r}")
+    for section in ("nodes", "shards", "tenants", "totals"):
+        if section not in bundle["cluster"]:
+            problems.append(f"cluster snapshot missing {section!r}")
+    events = bundle["events"]
+    for key in ("counts", "total", "entries"):
+        if key not in events:
+            problems.append(f"events section missing {key!r}")
+    for kind in events.get("counts", {}):
+        if kind not in EVENT_KINDS:
+            problems.append(f"unknown event kind {kind!r} in counts")
+    for index, trace in enumerate(bundle["traces"]):
+        if not isinstance(trace, dict) or "name" not in trace:
+            problems.append(f"traces[{index}] is not a span dict")
+        # trace_id is optional: maintenance spans (engine.refresh/merge)
+        # are rooted outside any request trace.
+        elif "trace_id" in trace and not isinstance(trace["trace_id"], str):
+            problems.append(f"traces[{index}] trace_id is not a string")
+    tracing = bundle["tracing"]
+    for key in ("enabled", "sampler", "traces_started"):
+        if key not in tracing:
+            problems.append(f"tracing section missing {key!r}")
+    return problems

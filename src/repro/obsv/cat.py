@@ -336,3 +336,40 @@ def cat_faults(db) -> CatTable:
             )
             rows.append((round(at, 3), status, kind, str(target), detail))
     return CatTable("faults", ("at", "status", "kind", "target", "detail"), rows)
+
+
+def cat_events(
+    db,
+    kind: str | None = None,
+    tenant: str | None = None,
+    trace_id: str | None = None,
+    k: int | None = None,
+) -> CatTable:
+    """One row per retained structured event (oldest first), filterable by
+    kind / tenant / trace id; *k* keeps only the most recent matches.
+
+    Reads the :class:`~repro.telemetry.events.EventLog` the facade owns as
+    ``db.events``; an instance without one yields an empty, well-formed
+    table.
+    """
+    log = getattr(db, "events", None)
+    rows = []
+    if log is not None:
+        for event in log.query(kind=kind, tenant=tenant, trace_id=trace_id, limit=k):
+            detail = ",".join(
+                f"{key}={CatTable._format(value)}"
+                for key, value in sorted(event.detail.items())
+            )
+            rows.append(
+                (
+                    round(event.time, 3),
+                    event.kind,
+                    event.tenant if event.tenant is not None else "",
+                    event.trace_id if event.trace_id is not None else "",
+                    event.shard if event.shard is not None else "",
+                    detail,
+                )
+            )
+    return CatTable(
+        "events", ("at", "kind", "tenant", "trace_id", "shard", "detail"), rows
+    )

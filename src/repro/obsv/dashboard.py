@@ -130,6 +130,16 @@ def render_dashboard(db) -> str:
     if len(exec_table):
         sections += ["", "-- execution core --", exec_table.render()]
     sections += ["", "-- performance history --", performance_history(db)]
+    events = getattr(db, "events", None)
+    if events is not None:
+        counts = events.counts()
+        summary = (
+            ", ".join(f"{kind}={count}" for kind, count in sorted(counts.items()))
+            if counts
+            else "(none)"
+        )
+        sections += ["", "-- events --", f"  {summary}"]
+        sections += [f"  {event.describe()}" for event in events.tail(5)]
     if observer is not None:
         alerts = observer.recent_alerts(5)
         sections += ["", "-- skew alerts --"]
@@ -190,6 +200,16 @@ def cluster_snapshot(db) -> dict:
             "workers": db.config.exec.pool_size(),
             "rows": cat_exec(db).to_dicts(),
         }
+    events = getattr(db, "events", None)
+    if events is not None:
+        snapshot["events"] = {
+            "counts": events.counts(),
+            "total": events.total,
+            "recent": events.to_dicts(limit=20),
+        }
+    else:
+        # Well-formed empty section, mirroring the timeseries convention.
+        snapshot["events"] = {"counts": {}, "total": 0, "recent": []}
     if observer is not None:
         snapshot["obsv"] = observer.snapshot()
     return snapshot

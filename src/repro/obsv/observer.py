@@ -26,6 +26,7 @@ from repro.obsv.skew import (
 from repro.obsv.slowlog import SlowLog
 
 if TYPE_CHECKING:
+    from repro.obsv.slowlog import SlowLogEntry
     from repro.routing.rules import RuleList
     from repro.telemetry import Span
 
@@ -81,8 +82,10 @@ class Observer:
         elapsed: float,
         now: float,
         trace: "Span | None" = None,
-    ) -> None:
+        trace_id: str | None = None,
+    ) -> "SlowLogEntry | None":
         """Feed one routed write: skew accounting + index slow log.
+        Returns the slow-log entry when the write crossed a threshold.
 
         Rolls the skew window first when *now* crossed its boundary — the
         workload monitor does the same with identical window length, so
@@ -98,11 +101,13 @@ class Observer:
             shard=shard,
             detail=f"write shard={shard}",
             trace=trace,
+            trace_id=trace_id,
         )
         if entry is not None and self._metrics is not None:
             self._metrics.counter(
                 "obsv_slowlog_entries_total", log="index", level=entry.level
             ).inc()
+        return entry
 
     def record_search(
         self,
@@ -111,19 +116,24 @@ class Observer:
         now: float,
         detail: str = "",
         trace: "Span | None" = None,
-    ) -> None:
-        """Feed one executed query into the search slow log."""
+        trace_id: str | None = None,
+    ) -> "SlowLogEntry | None":
+        """Feed one executed query into the search slow log. Returns the
+        slow-log entry when the query crossed a threshold — the facade
+        turns it into a ``slow_query`` event."""
         entry = self.search_slowlog.record(
             time=now,
             elapsed=elapsed,
             tenant=tenant,
             detail=detail,
             trace=trace,
+            trace_id=trace_id,
         )
         if entry is not None and self._metrics is not None:
             self._metrics.counter(
                 "obsv_slowlog_entries_total", log="search", level=entry.level
             ).inc()
+        return entry
 
     # -- windows and alerts ------------------------------------------------
     def roll(self, now: float) -> WindowStats:

@@ -39,6 +39,7 @@ class SlowLogEntry:
     shard: int | None
     detail: str
     trace: "Span | None"  # span tree of the operation, when traced
+    trace_id: str | None = None  # distributed trace id, when tracing is on
 
     def describe(self) -> str:
         where = []
@@ -47,9 +48,10 @@ class SlowLogEntry:
         if self.shard is not None:
             where.append(f"shard={self.shard}")
         location = f" {' '.join(where)}" if where else ""
+        suffix = f" trace={self.trace_id}" if self.trace_id is not None else ""
         return (
             f"[{self.level}] {self.log} {self.elapsed * 1e3:.3f}ms"
-            f"{location} :: {self.detail}"
+            f"{location} :: {self.detail}{suffix}"
         )
 
     def to_dict(self) -> dict:
@@ -62,6 +64,8 @@ class SlowLogEntry:
             "shard": self.shard,
             "detail": self.detail,
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         if self.trace is not None:
             out["trace"] = self.trace.to_dict()
         return out
@@ -104,11 +108,14 @@ class SlowLog:
         shard: int | None = None,
         detail: str = "",
         trace: "Span | None" = None,
+        trace_id: str | None = None,
     ) -> SlowLogEntry | None:
         """Record one operation; returns the entry, or None below threshold."""
         level = self.level_for(elapsed)
         if level is None:
             return None
+        if trace_id is None and trace is not None:
+            trace_id = getattr(trace, "trace_id", None)
         entry = SlowLogEntry(
             log=self.log,
             level=level,
@@ -118,6 +125,7 @@ class SlowLog:
             shard=shard,
             detail=str(detail)[:MAX_DETAIL_CHARS],
             trace=trace,
+            trace_id=trace_id,
         )
         self.entries.append(entry)
         self.counts[level] += 1

@@ -8,7 +8,14 @@ The measurement substrate for the whole reproduction:
   context propagation (a write traces client → router → consensus →
   shard engine → replication; a query traces parse → rewrite → plan →
   per-shard subquery → aggregation);
-* exporters — JSON dumps (round-trippable) and Prometheus-style text;
+* :class:`TraceContext` / :class:`TraceIdGenerator` — deterministic
+  seed-derived W3C-shaped trace ids with cross-thread propagation and
+  head-based sampling (always / ratio / slow-tail);
+* :class:`EventLog` — bounded ring of typed operational events
+  (throttles, demotions, faults, promotions, slow queries, rule commits)
+  stamped with the active trace id;
+* exporters — JSON dumps (round-trippable) and Prometheus-style text
+  with OpenMetrics trace-id exemplars on histogram buckets;
 * a near-zero-overhead disabled mode (:data:`NULL_TELEMETRY`) so
   instrumentation can stay in hot paths permanently.
 
@@ -46,6 +53,20 @@ from repro.telemetry.timeseries import (
     install_esdb_derivations,
     sparkline,
 )
+from repro.telemetry.context import (
+    SAMPLERS,
+    AlwaysSampler,
+    RatioSampler,
+    SlowTailSampler,
+    TraceConfig,
+    TraceContext,
+    TraceIdGenerator,
+    activate_context,
+    build_sampler,
+    current_context,
+    derive_span_id,
+)
+from repro.telemetry.events import EVENT_KINDS, Event, EventLog
 from repro.telemetry.runtime import (
     NULL_TELEMETRY,
     NullRegistry,
@@ -57,6 +78,20 @@ from repro.telemetry.runtime import (
 from repro.telemetry.tracing import Span, Tracer
 
 __all__ = [
+    "TraceContext",
+    "TraceConfig",
+    "TraceIdGenerator",
+    "AlwaysSampler",
+    "RatioSampler",
+    "SlowTailSampler",
+    "SAMPLERS",
+    "build_sampler",
+    "derive_span_id",
+    "current_context",
+    "activate_context",
+    "Event",
+    "EventLog",
+    "EVENT_KINDS",
     "Counter",
     "Gauge",
     "Histogram",

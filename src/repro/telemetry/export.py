@@ -96,14 +96,23 @@ def to_prometheus(registry: MetricsRegistry) -> str:
         for entry in entries:
             labels = entry["labels"]
             if kind == "histogram":
+                exemplars = {
+                    index: (value, trace_id)
+                    for index, value, trace_id in entry.get("exemplars", [])
+                }
                 cumulative = 0
-                for bound, count in entry["buckets"]:
+                for index, (bound, count) in enumerate(entry["buckets"]):
                     cumulative += count
                     le = "+Inf" if bound == "+Inf" else f"{bound:g}"
-                    lines.append(
+                    sample = (
                         f"{name}_bucket"
                         f"{_format_labels(_merge_labels(labels, le=le))} {cumulative}"
                     )
+                    if index in exemplars:
+                        # OpenMetrics exemplar: `... # {trace_id="..."} value`.
+                        value, trace_id = exemplars[index]
+                        sample += f' # {{trace_id="{trace_id}"}} {value:g}'
+                    lines.append(sample)
                 lines.append(f"{name}_sum{_format_labels(labels)} {entry['sum']:g}")
                 lines.append(f"{name}_count{_format_labels(labels)} {entry['count']}")
             else:
@@ -133,6 +142,9 @@ def parse_prometheus(text: str, with_meta: bool = False) -> dict | tuple[dict, d
                 value = parts[3] if len(parts) > 3 else ""
                 meta.setdefault(name, {})[parts[1].lower()] = value
             continue
+        # Strip any OpenMetrics exemplar suffix before splitting off the
+        # value — exemplar payloads contain spaces of their own.
+        line = line.split(" # {", 1)[0].rstrip()
         metric_part, _, value_part = line.rpartition(" ")
         name, labels = _parse_metric(metric_part)
         samples[(name, labels)] = float(value_part)

@@ -98,7 +98,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total",
-                 "min_value", "max_value")
+                 "min_value", "max_value", "exemplars")
 
     def __init__(self, name: str, labels: dict,
                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -113,15 +113,22 @@ class Histogram:
         self.total = 0.0
         self.min_value = float("inf")
         self.max_value = float("-inf")
+        # bucket index -> (value, trace_id): the latest traced observation
+        # per bucket, so a p99 spike in any bucket links to a concrete
+        # trace. O(buckets) memory, overwrite-on-arrival.
+        self.exemplars: dict[int, tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         self.count += 1
         self.total += value
         if value < self.min_value:
             self.min_value = value
         if value > self.max_value:
             self.max_value = value
-        self.bucket_counts[self._bucket_index(value)] += 1
+        index = self._bucket_index(value)
+        self.bucket_counts[index] += 1
+        if trace_id is not None:
+            self.exemplars[index] = (value, trace_id)
 
     def _bucket_index(self, value: float) -> int:
         # Linear scan is fine: bucket lists are short (~20) and the early
@@ -344,6 +351,14 @@ class MetricsRegistry:
                             )
                         ],
                     )
+                    if metric.exemplars:
+                        # Lists, not tuples, so the snapshot JSON round-trips
+                        # to an equal object; key absent when never traced so
+                        # untraced snapshots keep their pre-exemplar shape.
+                        entry["exemplars"] = [
+                            [index, value, trace_id]
+                            for index, (value, trace_id) in sorted(metric.exemplars.items())
+                        ]
                     histograms.append(entry)
                 else:
                     entry["value"] = metric.value

@@ -33,7 +33,7 @@ class NullMetric:
     def add(self, delta: float) -> None:
         pass
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, trace_id: str | None = None) -> None:
         pass
 
     def quantile(self, q: float) -> float:
@@ -124,6 +124,9 @@ class NullTracer:
     def span(self, name: str, **tags) -> _NullSpanContext:
         return _NULL_SPAN_CONTEXT
 
+    def trace(self, name: str, context=None, sampler=None, **tags) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
     @property
     def current(self) -> None:
         return None
@@ -133,6 +136,9 @@ class NullTracer:
 
     def recent_traces(self, n: int | None = None) -> list:
         return []
+
+    def find_trace(self, trace_id: str) -> None:
+        return None
 
 
 NULL_REGISTRY = NullRegistry()

@@ -17,19 +17,30 @@ twin whose ``span()`` returns a shared singleton context manager.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from collections import deque
 from typing import Any, Callable, Iterator
+
+from repro.telemetry.context import _ACTIVE, TraceContext
 
 #: Finished root spans retained per tracer (old traces are discarded).
 MAX_FINISHED_TRACES = 128
 
 
 class Span:
-    """One timed stage of an operation, with tags and child spans."""
+    """One timed stage of an operation, with tags and child spans.
 
-    __slots__ = ("name", "tags", "start", "end", "children")
+    ``trace_id``/``span_id`` are assigned when the operation runs under a
+    :class:`~repro.telemetry.context.TraceContext` (see :meth:`Tracer.trace`);
+    they stay None for bare ``tracer.span`` trees so pre-trace callers see
+    no difference. ``links`` carries the trace ids of *other* requests this
+    span did work for — how a coalesced shared scan credits every
+    participating statement.
+    """
+
+    __slots__ = ("name", "tags", "start", "end", "children", "trace_id", "span_id", "links")
 
     def __init__(self, name: str, tags: dict | None = None) -> None:
         self.name = name
@@ -37,6 +48,9 @@ class Span:
         self.start = 0.0
         self.end: float | None = None
         self.children: list[Span] = []
+        self.trace_id: str | None = None
+        self.span_id: str | None = None
+        self.links: list[str] | None = None
 
     @property
     def duration(self) -> float:
@@ -66,9 +80,21 @@ class Span:
         """All spans in the tree whose name starts with *prefix*."""
         return [span for span in self.walk() if span.name.startswith(prefix)]
 
+    def add_link(self, trace_id: str) -> None:
+        """Link this span to another request's trace (shared-work credit)."""
+        if self.links is None:
+            self.links = []
+        self.links.append(trace_id)
+
     def to_dict(self) -> dict:
         """JSON-ready representation of the span tree."""
         out: dict[str, Any] = {"name": self.name, "duration": self.duration}
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        if self.span_id is not None:
+            out["span_id"] = self.span_id
+        if self.links:
+            out["links"] = list(self.links)
         if self.tags:
             out["tags"] = {str(k): str(v) for k, v in self.tags.items()}
         if self.children:
@@ -115,12 +141,129 @@ class _SpanContext:
         span = self._span
         span.end = tracer.clock()
         if exc_type is not None:
-            span.tags.setdefault("error", exc_type.__name__)
+            _tag_error(span, exc_type)
         stack = tracer._stack
         if stack and stack[-1] is span:
             stack.pop()
         if not stack:
             tracer.finished.append(span)
+
+
+def _tag_error(span: Span, exc_type: type) -> None:
+    """Uniform error tagging, identical on every exit path: ``error`` is
+    always the boolean True and the exception class goes to ``error_type``
+    (setdefault, so a deliberate tag survives re-raises through parents)."""
+    span.tags["error"] = True
+    span.tags.setdefault("error_type", exc_type.__name__)
+
+
+def _assign_span_ids(root: Span, trace_id: str) -> None:
+    """Assign deterministic span ids across the finished tree.
+
+    Runs once, at root close, after worker subtrees have been re-parented
+    in shard-id order — each id is a pure function of (trace_id, parent
+    span id, child index, name), so the ids never depend on which thread
+    recorded a span or when it was scheduled. Spans re-parented from a
+    worker tracer are covered by the same walk. The digest is inlined
+    (same formula as :func:`~repro.telemetry.context.derive_span_id` —
+    pinned by tests) because this runs on every traced operation.
+    """
+    blake2b = hashlib.blake2b
+    root.trace_id = trace_id
+    pending = [root]
+    while pending:
+        parent = pending.pop()
+        parent_span_id = parent.span_id
+        for index, child in enumerate(parent.children):
+            child.trace_id = trace_id
+            child.span_id = blake2b(
+                f"{trace_id}:{parent_span_id}:{index}:{child.name}".encode("utf-8"),
+                digest_size=8,
+            ).hexdigest()
+            pending.append(child)
+
+
+class _SuppressedSpanContext:
+    """Span context handed out while the active trace is head-unsampled:
+    yields a fresh detached span (safe to tag) that joins no tree."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return Span("suppressed")
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_SUPPRESSED_SPAN_CONTEXT = _SuppressedSpanContext()
+
+
+class _RootSpanContext(_SpanContext):
+    """Root span of one traced operation.
+
+    On enter: applies the head-sampling decision to the context, stamps
+    the span with the context's ids, activates the context on this thread
+    (so executor submissions pick it up) and — when unsampled — raises the
+    tracer's suppress flag so descendant ``span()`` calls record nothing.
+    On exit: restores thread state, finalizes deterministic span ids over
+    the assembled tree, and applies the sampler's retention policy to the
+    finished ring (errored roots are always retained).
+    """
+
+    __slots__ = ("_context", "_sampler", "_prev_context", "_prev_suppress")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        span: Span,
+        context: TraceContext | None,
+        sampler,
+    ) -> None:
+        super().__init__(tracer, span)
+        self._context = context
+        self._sampler = sampler
+        self._prev_context = None
+        self._prev_suppress = False
+
+    def __enter__(self) -> Span:
+        tracer = self._tracer
+        span = self._span
+        context = self._context
+        if context is not None:
+            if self._sampler is not None:
+                context.sampled = bool(self._sampler.sample(context))
+            span.trace_id = context.trace_id
+            span.span_id = context.span_id
+            # Inlined activate_context: this is the per-operation hot path,
+            # so the thread-local swap happens without an extra object.
+            self._prev_context = getattr(_ACTIVE, "context", None)
+            _ACTIVE.context = context
+            self._prev_suppress = getattr(tracer._local, "suppress", False)
+            tracer._local.suppress = not context.sampled
+        return super().__enter__()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        tracer = self._tracer
+        span = self._span
+        span.end = tracer.clock()
+        if exc_type is not None:
+            _tag_error(span, exc_type)
+        stack = tracer._stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        context = self._context
+        if context is not None:
+            tracer._local.suppress = self._prev_suppress
+            _ACTIVE.context = self._prev_context
+        if not stack:
+            if context is not None:
+                _assign_span_ids(span, context.trace_id)
+            retained = True
+            if exc_type is None and context is not None and self._sampler is not None:
+                retained = bool(self._sampler.retain(context, span))
+            if retained:
+                tracer.finished.append(span)
 
 
 class Tracer:
@@ -152,9 +295,28 @@ class Tracer:
             stack = self._local.stack = []
         return stack
 
-    def span(self, name: str, **tags) -> _SpanContext:
-        """Open a span named *name* as a child of the current span."""
+    def span(self, name: str, **tags):
+        """Open a span named *name* as a child of the current span. While
+        the active trace is head-unsampled, returns a detached no-op span
+        instead — the root keeps its timing, the children cost nothing."""
+        if getattr(self._local, "suppress", False):
+            return _SUPPRESSED_SPAN_CONTEXT
         return _SpanContext(self, Span(name, tags or None))
+
+    def trace(
+        self,
+        name: str,
+        context: TraceContext | None = None,
+        sampler=None,
+        **tags,
+    ) -> _RootSpanContext:
+        """Open the root span of one traced operation.
+
+        With ``context=None`` (tracing disabled) this behaves exactly like
+        :meth:`span` — no ids, no sampling, always retained — so the
+        pre-trace span trees and chaos fingerprints are bit-identical.
+        """
+        return _RootSpanContext(self, Span(name, tags or None), context, sampler)
 
     @property
     def current(self) -> Span | None:
@@ -164,6 +326,13 @@ class Tracer:
     def last_trace(self) -> Span | None:
         """The most recently finished root span."""
         return self.finished[-1] if self.finished else None
+
+    def find_trace(self, trace_id: str) -> Span | None:
+        """The most recent retained root span for *trace_id*, or None."""
+        for span in reversed(self.finished):
+            if span.trace_id == trace_id:
+                return span
+        return None
 
     def recent_traces(self, n: int | None = None) -> list[Span]:
         """The last *n* finished root spans, oldest first (all retained

@@ -34,6 +34,7 @@ QUICK_SET = [
     "chaos.crash_failover",
     "tenancy.qos_ordering",
     "exec.shared_scan",
+    "trace.overhead",
 ]
 
 

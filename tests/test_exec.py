@@ -687,3 +687,144 @@ class TestTracerThreadSafety:
         assert worker_spans[0].name == "worker-op"
         finished_names = {span.name for span in tracer.finished}
         assert {"main-op", "worker-op"} <= finished_names
+
+
+# -- tracing identity across backends and chaos --------------------------------
+
+
+class TestChaosFingerprintTracingIdentity:
+    """Tracing must be invisible to the chaos fingerprints: id allocation
+    never touches the workload RNG or logical clocks, so every pinned
+    fingerprint is bit-identical whether tracing is on (the instance
+    default, covered by TestChaosFingerprintIdentity) or off."""
+
+    def test_serial_failover_fingerprint_with_tracing_off(self):
+        from repro.faults import ChaosConfig, ChaosRunner
+        from repro.faults.__main__ import build_failover_plan
+        from repro.telemetry import TraceConfig
+
+        report = ChaosRunner(
+            build_failover_plan(0, 200, 8),
+            ChaosConfig(steps=200, tracing=TraceConfig.off()),
+        ).run()
+        assert report.ok
+        assert report.fingerprint() == FAILOVER_200_FINGERPRINT
+
+    def test_threads_failover_fingerprint_with_tracing_off(self):
+        from repro.faults import ChaosConfig, ChaosRunner
+        from repro.faults.__main__ import build_failover_plan
+        from repro.telemetry import TraceConfig
+
+        report = ChaosRunner(
+            build_failover_plan(0, 200, 8),
+            ChaosConfig(
+                steps=200, exec_backend="threads", tracing=TraceConfig.off()
+            ),
+        ).run()
+        assert report.ok
+        assert report.fingerprint() == FAILOVER_200_FINGERPRINT
+
+    def test_governed_noisy_neighbor_fingerprint_with_tracing_off(self):
+        from repro.faults import ChaosConfig, ChaosRunner
+        from repro.faults.__main__ import FLOOD_TENANT, build_noisy_neighbor_plan
+        from repro.telemetry import TraceConfig
+        from repro.tenancy import TenancyConfig
+
+        report = ChaosRunner(
+            build_noisy_neighbor_plan(0, 200, 8),
+            ChaosConfig(
+                steps=200,
+                flood_tenant=FLOOD_TENANT,
+                flood_factor=20,
+                tenancy=TenancyConfig.strict(),
+                tracing=TraceConfig.off(),
+            ),
+        ).run()
+        assert report.ok
+        assert report.fingerprint() == NOISY_200_FINGERPRINT
+
+
+class TestTraceDeterminism:
+    """Same seed ⇒ same trace ids, same sampling decisions, same event
+    sequence — on every backend."""
+
+    def _run_workload(self, exec_config, tracing=None):
+        from repro.obsv import ObsvConfig
+
+        extras = {"obsv": ObsvConfig(search_info_seconds=0.0)}
+        if tracing is not None:
+            extras["tracing"] = tracing
+        db = make_db(exec_config, **extras)
+        try:
+            for doc in zipf_docs(60, seed=21):
+                db.write(doc)
+            db.refresh()
+            for _ in range(3):
+                db.execute_sql(
+                    "SELECT COUNT(*) FROM transaction_logs WHERE quantity >= 2"
+                )
+            db.rebalance()
+            trace_ids = [
+                span.trace_id for span in db.telemetry.tracer.recent_traces()
+            ]
+            sampled = [
+                span.trace_id is not None
+                for span in db.telemetry.tracer.recent_traces()
+            ]
+            events = [
+                (e.kind, e.tenant, e.shard, e.trace_id) for e in db.events.query()
+            ]
+            issued = db.trace_ids.issued
+        finally:
+            db.close()
+        return trace_ids, sampled, events, issued
+
+    def test_serial_and_threads_produce_identical_ids_and_events(self):
+        serial = self._run_workload(None)
+        threads = self._run_workload(ExecConfig.threads(workers=4))
+        assert serial == threads
+
+    def test_two_serial_runs_are_identical(self):
+        assert self._run_workload(None) == self._run_workload(None)
+
+    def test_ratio_sampling_is_deterministic_across_backends(self):
+        from repro.telemetry import TraceConfig
+
+        tracing = TraceConfig(sampler="ratio", ratio=0.5)
+        serial = self._run_workload(None, tracing=tracing)
+        threads = self._run_workload(
+            ExecConfig.threads(workers=4), tracing=tracing
+        )
+        assert serial == threads
+
+    def test_explain_analyze_tree_structure_equal_serial_vs_threads(self):
+        """Acceptance: under ExecConfig.threads() the multi-shard query tree
+        carries real per-shard worker spans, byte-equal in structure
+        (names, order, non-timing tags, ids) to the serial backend's."""
+
+        def tree_structure(span):
+            return (
+                span.name,
+                span.trace_id,
+                span.span_id,
+                {k: v for k, v in span.tags.items()},
+                [tree_structure(child) for child in span.children],
+            )
+
+        sql = "SELECT COUNT(*) FROM transaction_logs WHERE quantity >= 3"
+        trees = {}
+        for label, exec_config in (
+            ("serial", None),
+            ("threads", ExecConfig.threads(workers=4)),
+        ):
+            db = make_db(exec_config)
+            try:
+                db.bulk_write(zipf_docs(120, seed=2))
+                db.refresh()
+                root = db.explain_analyze(sql)
+            finally:
+                db.close()
+            shard_spans = root.find_prefix("query.shard[")
+            assert len(shard_spans) == TOPOLOGY.num_shards
+            trees[label] = tree_structure(root)
+        assert trees["serial"] == trees["threads"]

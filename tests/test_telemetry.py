@@ -164,7 +164,21 @@ class TestTracing:
         with pytest.raises(ValueError):
             with tracer.span("boom") as span:
                 raise ValueError("x")
-        assert span.tags["error"] == "ValueError"
+        assert span.tags["error"] is True
+        assert span.tags["error_type"] == "ValueError"
+        assert tracer.current is None
+
+    def test_error_tagging_on_root_trace_path(self):
+        # Both exit paths (_SpanContext and _RootSpanContext) tag
+        # identically, and an errored root is recorded in the finished
+        # ring even though the exception propagates.
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.trace("op") as root:
+                raise RuntimeError("y")
+        assert root.tags["error"] is True
+        assert root.tags["error_type"] == "RuntimeError"
+        assert tracer.last_trace() is root
         assert tracer.current is None
 
     def test_find_and_prefix(self):
