@@ -30,7 +30,9 @@ from repro.telemetry.metrics import summarize
 SCHEMA_VERSION = 1
 
 #: The scenario families the suite must span (acceptance floor).
-FAMILIES = ("write", "query", "storage", "sim", "chaos", "tenancy", "exec", "trace")
+FAMILIES = (
+    "write", "query", "storage", "sim", "chaos", "tenancy", "exec", "trace", "slo",
+)
 
 
 @dataclass(frozen=True)

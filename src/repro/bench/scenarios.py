@@ -894,3 +894,85 @@ def trace_overhead(quick: bool) -> ScenarioResult:
               "trace_overhead_pct": overhead_pct,
               "finished_roots": traced_roots},
     )
+
+
+# -- slo family ---------------------------------------------------------------
+
+
+@scenario("slo.overhead", "slo",
+          "identical skewed write workload with SLO tracking + heavy-hitter "
+          "profiling on vs. SloConfig() (off); the p50 delta is the "
+          "per-write cost of SLI recording, sketch offers and burn checks")
+def slo_overhead(quick: bool) -> ScenarioResult:
+    from repro.cluster import ClusterTopology
+    from repro.esdb import ESDB, EsdbConfig
+    from repro.slo import SloConfig
+
+    count = 400 if quick else 1200
+    rounds = 3 if quick else 5
+    #: Acceptance bound: SLO tracking must cost <= this much p50 write latency.
+    bound_pct = 10.0
+
+    def run_round(slo) -> tuple[float, float, int]:
+        """One fresh instance, *count* writes; returns (p50, total, evals)."""
+        db = ESDB(
+            EsdbConfig(
+                topology=ClusterTopology(
+                    num_nodes=2, num_shards=8, replicas_per_shard=0
+                ),
+                consensus_interval=1.0,
+                slo=slo,
+            )
+        )
+        docs = _documents(count, seed=13)
+        gc.collect()  # don't bill one phase for the other phase's garbage
+        gc.disable()
+        try:
+            durations = time_ops(lambda i: db.write(docs[i]), count)
+        finally:
+            gc.enable()
+        evaluations = db.slo.evaluations if db.slo is not None else 0
+        db.close()
+        ordered = sorted(durations)
+        return ordered[len(ordered) // 2], sum(durations), evaluations
+
+    # Same protocol as trace.overhead: alternate the two configurations
+    # across rounds (flipping which goes first) and keep each side's
+    # *minimum* p50, isolating the per-write SLO cost from machine jitter.
+    configs = {"tracked": SloConfig(enabled=True), "untracked": SloConfig()}
+    p50 = {"tracked": float("inf"), "untracked": float("inf")}
+    best_total = {"tracked": float("inf"), "untracked": float("inf")}
+    tracked_evals = 0
+    for round_index in range(rounds):
+        order = (
+            ("tracked", "untracked") if round_index % 2 else ("untracked", "tracked")
+        )
+        for label in order:
+            round_p50, total, evaluations = run_round(configs[label])
+            p50[label] = min(p50[label], round_p50)
+            best_total[label] = min(best_total[label], total)
+            if label == "tracked":
+                tracked_evals = evaluations
+    rate = {
+        label: count / best_total[label] if best_total[label] else 0.0
+        for label in configs
+    }
+    overhead_pct = 100.0 * (p50["tracked"] - p50["untracked"]) / (
+        p50["untracked"] or 1.0
+    )
+    return ScenarioResult(
+        {
+            "untracked_writes_per_s": Metric(
+                rate["untracked"], "writes/s", "higher"
+            ),
+            "tracked_writes_per_s": Metric(rate["tracked"], "writes/s", "higher"),
+            "overhead_within_bound": Metric(
+                1.0 if overhead_pct <= bound_pct else 0.0, "bool", "higher"
+            ),
+        },
+        # As with trace.overhead, the raw percentage flips sign with machine
+        # jitter, so it rides in meta; the bound gate is the metric.
+        meta={"writes": count, "rounds": rounds, "bound_pct": bound_pct,
+              "slo_overhead_pct": overhead_pct,
+              "slo_evaluations": tracked_evals},
+    )

@@ -43,9 +43,11 @@ from repro.obsv.cat import (
     cat_events,
     cat_exec,
     cat_faults,
+    cat_hotkeys,
     cat_nodes,
     cat_rules,
     cat_shards,
+    cat_slo,
     cat_tenants,
     cat_timeseries,
 )
@@ -78,6 +80,7 @@ from repro.routing import (
     DynamicSecondaryHashRouting,
     RoutingPolicy,
 )
+from repro.slo import HeavyHitterProfiler, SloConfig, SloEngine
 from repro.storage import EngineConfig, Schema, ShardEngine
 from repro.telemetry import (
     NULL_TELEMETRY,
@@ -175,6 +178,17 @@ class EsdbConfig:
             event log behind :meth:`ESDB.cat_events` and
             :meth:`ESDB.diagnostics_bundle`. ``TraceConfig.off()``
             restores the pre-trace span trees bit-for-bit.
+        slo: service-level objectives and heavy-hitter attribution
+            (:mod:`repro.slo`). Disabled by default — the instance then
+            builds neither the :class:`~repro.slo.SloEngine` nor the
+            :class:`~repro.slo.HeavyHitterProfiler` and every path is
+            byte-identical (chaos fingerprints included). Enabled, write
+            and query outcomes are classified against declarative
+            latency/error-rate objectives with multi-window burn-rate
+            alerting (``slo_burn``/``slo_recovered`` events), and bounded
+            Space-Saving sketches name the hot routing keys, filter terms
+            and query fingerprints per shard and per tenant
+            (:meth:`ESDB.cat_slo` / :meth:`ESDB.cat_hotkeys`).
     """
 
     topology: ClusterTopology = field(default_factory=ClusterTopology)
@@ -196,6 +210,7 @@ class EsdbConfig:
     tenancy: TenancyConfig = field(default_factory=TenancyConfig)
     exec: ExecConfig = field(default_factory=ExecConfig)
     tracing: TraceConfig = field(default_factory=TraceConfig)
+    slo: SloConfig = field(default_factory=SloConfig)
 
 
 class ESDB:
@@ -316,6 +331,12 @@ class ESDB:
         #: LRU-bounded: at capacity the stalest probe is evicted, never the
         #: whole map — a hot result-cache path keeps its memoized tenants.
         self._query_tenant_cache: OrderedDict[str, object] = OrderedDict()
+        #: query fingerprint -> sub-attribute names it filters on. A result-
+        #: cache hit skips the fan-out (where frequencies are normally
+        #: recorded), but the cached query is still real demand — without
+        #: this memo, repeat queries would never count toward adaptive
+        #: sub-attribute index selection. Same LRU bound as above.
+        self._subattr_by_fingerprint: OrderedDict[str, tuple] = OrderedDict()
         if self.config.tenancy.enabled:
             self.governor = TenantGovernor(
                 self.config.tenancy,
@@ -327,6 +348,18 @@ class ESDB:
                 self.config.exec,
                 metrics=self.telemetry.metrics if self.telemetry.enabled else None,
             )
+        self.slo: SloEngine | None = None
+        self.hotkeys: HeavyHitterProfiler | None = None
+        if self.config.slo.enabled:
+            slo_metrics = self.telemetry.metrics if self.telemetry.enabled else None
+            self.slo = SloEngine(self.config.slo, metrics=slo_metrics)
+            if self.config.slo.profiler_enabled:
+                self.hotkeys = HeavyHitterProfiler(
+                    self.config.slo, metrics=slo_metrics
+                )
+                if self.obsv is not None:
+                    # Skew alerts get upgraded with the hitters behind them.
+                    self.obsv.attributor = self._slo_attribution
         self._doc_shard: dict[object, int] = {}
         self._clock = 0.0
         #: Lazily created FaultInjector (see :meth:`inject_fault`).
@@ -430,6 +463,11 @@ class ESDB:
                         "shed" if exc.budget == "queue" else "throttle",
                         tenant=tenant_id, ctx=ctx, op="write", budget=exc.budget,
                     )
+                    if self.slo is not None:
+                        self.slo.record(
+                            "write", tenant_id, 0.0, self._clock, error=True
+                        )
+                        self._slo_tick(ctx)
                     raise
             with tracer.span("write.route", policy=self.policy.name):
                 shard_id = self.policy.route_write(tenant_id, doc_id, created_time)
@@ -465,6 +503,11 @@ class ESDB:
                 trace=span if telemetry.enabled else None,
                 trace_id=ctx.trace_id if ctx is not None else None,
             )
+        if self.slo is not None:
+            self.slo.record("write", tenant_id, span.duration, self._clock)
+            if self.hotkeys is not None:
+                self.hotkeys.record_write(tenant_id, shard_id, doc_id)
+            self._slo_tick(ctx)
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
         return shard_id
@@ -532,6 +575,14 @@ class ESDB:
                                 tenant=exc.tenant, ctx=ctx,
                                 op="bulk_write", budget=exc.budget,
                             )
+                        if self.slo is not None:
+                            self.slo.record(
+                                "write",
+                                getattr(exc, "tenant", None),
+                                0.0,
+                                self._clock,
+                                error=True,
+                            )
                         items[position] = BulkItemResult(
                             position=position, doc_id=doc_id, ok=False, error=exc
                         )
@@ -594,6 +645,17 @@ class ESDB:
                         trace=None,
                         trace_id=ctx.trace_id if ctx is not None else None,
                     )
+        if self.slo is not None:
+            for item in items:
+                if item is not None and item.ok:
+                    self.slo.record(
+                        "write", tenants[item.position], per_doc, self._clock
+                    )
+                    if self.hotkeys is not None:
+                        self.hotkeys.record_write(
+                            tenants[item.position], item.shard_id, item.doc_id
+                        )
+            self._slo_tick(ctx)
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
         return BulkResult(items=list(items), took=duration)
@@ -824,6 +886,8 @@ class ESDB:
                 committed.append(
                     (proposal.tenant_id, proposal.offset, outcome.effective_time)
                 )
+        if self.slo is not None:
+            self._slo_tick(ctx)
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
         return committed
@@ -911,6 +975,11 @@ class ESDB:
                     "shed" if exc.budget == "queue" else "throttle",
                     tenant=query_tenant, ctx=ctx, op="query", budget=exc.budget,
                 )
+                if self.slo is not None:
+                    self.slo.record(
+                        "query", query_tenant, 0.0, self._clock, error=True
+                    )
+                    self._slo_tick(ctx)
                 raise
         with tracer.trace("query", ctx, sampler=self.trace_sampler) as root:
             result_key = None
@@ -933,6 +1002,9 @@ class ESDB:
                     root.tags["fanout"] = cached.subqueries
                     result = cached
                     cache_hit = True
+                    hit_subattrs = self._subattr_by_fingerprint.get(fingerprint)
+                    if hit_subattrs:
+                        self._subattr_frequencies.record_query(hit_subattrs)
             if not cache_hit:
                 result, shard_ids, statement = self._execute_fanout(
                     tracer, root, sql, statement
@@ -943,6 +1015,13 @@ class ESDB:
                         for shard_id in shard_ids
                     )
                     self.result_cache.put(*result_key, result, validators)
+                    while len(self._subattr_by_fingerprint) >= 512:
+                        self._subattr_by_fingerprint.popitem(last=False)
+                    self._subattr_by_fingerprint[result_key[0]] = tuple(
+                        p.key_name
+                        for p in iter_predicates(statement.where)
+                        if isinstance(p, SubAttributePredicate)
+                    )
         if governor is not None:
             governor.charge_query(
                 query_tenant,
@@ -985,6 +1064,21 @@ class ESDB:
                     level=slow_entry.level,
                     elapsed=slow_entry.elapsed,
                 )
+        if self.slo is not None:
+            slo_tenant = self._statement_tenant(statement)
+            self.slo.record("query", slo_tenant, root.duration, self._clock)
+            if self.hotkeys is not None:
+                fingerprint = (
+                    sql_fingerprint(sql)
+                    if sql is not None
+                    else statement_fingerprint(statement)
+                )
+                self.hotkeys.record_query(
+                    slo_tenant,
+                    fingerprint,
+                    self._query_terms(statement),
+                )
+            self._slo_tick(ctx)
         if self.timeseries is not None:
             self.timeseries.maybe_sample(self._clock)
         return result, root
@@ -1003,6 +1097,76 @@ class ESDB:
             ):
                 return predicate.value
         return None
+
+    @staticmethod
+    def _query_terms(statement: SelectStatement | None) -> list[str]:
+        """The filter terms a statement exercises, for heavy-hitter
+        tracking: ``column=value`` for equality comparisons, the bare
+        column for ranges, ``attr:key`` for sub-attribute filters. A
+        result-cache hit on raw SQL never parses, so it contributes no
+        terms (the fingerprint still counts)."""
+        if statement is None:
+            return []
+        terms: list[str] = []
+        for predicate in iter_predicates(statement.where):
+            if isinstance(predicate, SubAttributePredicate):
+                terms.append(f"attr:{predicate.key_name}")
+            elif isinstance(predicate, ComparisonPredicate):
+                if predicate.op == "=":
+                    terms.append(f"{predicate.column}={predicate.value}")
+                else:
+                    terms.append(str(predicate.column))
+        return terms
+
+    def _slo_tick(self, ctx: TraceContext | None = None) -> None:
+        """One deterministic SLO heartbeat at the instance's logical clock:
+        decay the heavy-hitter sketches when their window closed, and when
+        an evaluation is due, advance every objective's burn state machine,
+        emitting ``slo_burn``/``slo_recovered`` events for the transitions.
+        Called only from coordinator paths (never workers), so firing ticks
+        are identical under the serial and threads backends."""
+        slo = self.slo
+        if slo is None:
+            return
+        if self.hotkeys is not None:
+            self.hotkeys.maybe_roll(self._clock)
+        if not slo.due(self._clock):
+            return
+        if self.hotkeys is not None:
+            self.hotkeys.export_gauges()
+        for alert in slo.evaluate(self._clock):
+            self._emit_event(
+                alert.kind,
+                tenant=alert.tenant,
+                ctx=ctx,
+                slo=alert.slo,
+                fast_burn=round(alert.fast_burn, 4),
+                slow_burn=round(alert.slow_burn, 4),
+                budget_remaining_pct=round(alert.budget_remaining_pct, 2),
+            )
+
+    def _slo_attribution(self, alert) -> dict:
+        """Name the heavy hitters behind one skew alert (the Observer calls
+        this for every alert it fires when profiling is on): hot routing
+        keys and query fingerprints for a hot tenant, hot routing keys for
+        a hot shard."""
+        hotkeys = self.hotkeys
+        if hotkeys is None:
+            return {}
+        detail: dict = {}
+        subject = str(alert.subject)
+        if alert.kind == "hot_tenant":
+            keys = hotkeys.hot_keys_for_tenant(subject)
+            queries = hotkeys.hot_queries_for_tenant(subject)
+            if keys:
+                detail["hot_keys"] = ",".join(str(key) for key, _, _ in keys)
+            if queries:
+                detail["hot_queries"] = ",".join(str(q) for q, _, _ in queries)
+        elif alert.kind == "hot_shard" and subject.startswith("shard-"):
+            keys = hotkeys.hot_keys_for_shard(int(subject.split("-", 1)[1]))
+            if keys:
+                detail["hot_keys"] = ",".join(str(key) for key, _, _ in keys)
+        return detail
 
     def _execute_fanout(
         self,
@@ -1275,6 +1439,18 @@ class ESDB:
         sparkline over the retained window (top-*k* by name when given)."""
         return cat_timeseries(self, k=k)
 
+    def cat_slo(self) -> CatTable:
+        """Per-objective SLO status: good/bad totals, error budget
+        remaining, fast/slow burn rates and burn state (empty when SLO
+        tracking is disabled)."""
+        return cat_slo(self)
+
+    def cat_hotkeys(self, k: int | None = None) -> CatTable:
+        """Heavy hitters: top-*k* hot routing keys, filter terms and query
+        fingerprints per scope (global / shard / tenant), each estimate
+        with its count-error bound (empty when profiling is disabled)."""
+        return cat_hotkeys(self, k=k)
+
     def diagnostics_bundle(self) -> dict:
         """One-call flight recording: config summary, cat tables, time
         series, recent traces, events and slow logs in a single JSON-ready
@@ -1431,6 +1607,10 @@ class ESDB:
             sections.update(self.obsv.report_lines())
         if self.governor is not None:
             sections["tenancy"] = self.governor.report_lines()
+        if self.slo is not None:
+            sections["slo"] = self.slo.report_lines()
+        if self.hotkeys is not None:
+            sections["hotkeys"] = self.hotkeys.report_lines()
         if isinstance(self.policy, DynamicSecondaryHashRouting):
             rules = self.policy.rules
             rule_lines = [f"routing rules: {len(rules)} committed"]

@@ -67,6 +67,10 @@ class ChaosConfig:
             under chaos (None uses the instance default). Fingerprints
             must be bit-identical whether tracing is on or off — trace-id
             allocation never touches the workload's RNG or clocks.
+        slo: a :class:`~repro.slo.SloConfig` for the instance under chaos
+            (None uses the instance default, i.e. disabled). Like tracing,
+            SLO tracking observes the workload without touching its RNG or
+            clocks, so fingerprints must be bit-identical on or off.
     """
 
     steps: int = 400
@@ -83,6 +87,7 @@ class ChaosConfig:
     tenancy: object | None = None
     exec_backend: str = "serial"
     tracing: object | None = None
+    slo: object | None = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -212,6 +217,8 @@ class ChaosRunner:
             esdb_kwargs["exec"] = ExecConfig(backend=self.config.exec_backend)
         if self.config.tracing is not None:
             esdb_kwargs["tracing"] = self.config.tracing
+        if self.config.slo is not None:
+            esdb_kwargs["slo"] = self.config.slo
         self.db = ESDB(
             EsdbConfig(
                 topology=ClusterTopology(

@@ -17,7 +17,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
-from repro.errors import ConfigurationError
+from repro.slo.sketch import rank_top_k
 
 
 @dataclass
@@ -48,15 +48,20 @@ class FrequencyTracker:
         self.query_counts.update(self._names(subattribute_names))
 
     def top_k(self, k: int) -> frozenset:
-        """Return the *k* most valuable sub-attributes to index."""
-        if k < 0:
-            raise ConfigurationError("k must be non-negative")
-        scored = sorted(
-            set(self.query_counts) | set(self.write_counts),
-            key=lambda name: (self.query_counts[name], self.write_counts[name], name),
-            reverse=True,
+        """Return the *k* most valuable sub-attributes to index.
+
+        Ranking runs through the shared :func:`repro.slo.rank_top_k` core:
+        query count desc, write count desc, then *name ascending* — fully
+        deterministic even when counts tie (a bare ``reverse=True`` sort
+        would flip the name tiebreak to descending)."""
+        ranked = rank_top_k(
+            {
+                name: (self.query_counts[name], self.write_counts[name])
+                for name in set(self.query_counts) | set(self.write_counts)
+            },
+            k,
         )
-        return frozenset(scored[:k])
+        return frozenset(name for name, _ in ranked)
 
     def coverage(self, selected: frozenset) -> float:
         """Fraction of query references answered by the selected set —

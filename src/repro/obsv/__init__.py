@@ -36,9 +36,11 @@ from repro.obsv.cat import (
     cat_events,
     cat_exec,
     cat_faults,
+    cat_hotkeys,
     cat_nodes,
     cat_rules,
     cat_shards,
+    cat_slo,
     cat_tenants,
     cat_timeseries,
 )
@@ -80,9 +82,11 @@ __all__ = [
     "cat_events",
     "cat_exec",
     "cat_faults",
+    "cat_hotkeys",
     "cat_nodes",
     "cat_rules",
     "cat_shards",
+    "cat_slo",
     "cat_tenants",
     "cat_timeseries",
     "cluster_snapshot",

@@ -25,6 +25,7 @@ def build_demo(
     writes: int = 600,
     governed: bool = False,
     chaos: bool = False,
+    slo: bool = False,
 ):
     """A small instance after a skewed burst: 4 nodes / 8 shards, one
     whale tenant at ~60% of the stream, balance rounds every ~5s of
@@ -33,12 +34,16 @@ def build_demo(
     With *governed*, per-tenant admission control is enabled at rates the
     whale tenant overruns, so some writes throttle or shed (caught here —
     the demo keeps going) and the event log fills. With *chaos*, a node is
-    crashed a third of the way in and recovered at two thirds."""
+    crashed a third of the way in and recovered at two thirds. With *slo*,
+    objective tracking and heavy-hitter profiling are on — combined with
+    *governed*, the whale's throttles burn the write-availability error
+    budget and fire ``slo_burn`` alerts."""
     from repro.balancer import BalancerConfig
     from repro.cluster import ClusterTopology
     from repro.errors import TenantThrottledError
     from repro.esdb import ESDB, EsdbConfig
     from repro.obsv.config import ObsvConfig
+    from repro.slo import SloConfig
     from repro.tenancy import TenancyConfig
 
     config = EsdbConfig(
@@ -55,6 +60,7 @@ def build_demo(
             if governed
             else TenancyConfig()
         ),
+        slo=SloConfig(enabled=True) if slo else SloConfig(),
     )
     db = ESDB(config)
     rng = random.Random(seed)
@@ -127,6 +133,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the validated diagnostics bundle JSON to PATH and exit",
     )
     parser.add_argument(
+        "--slo",
+        action="store_true",
+        help=(
+            "enable SLO tracking + heavy-hitter profiling and print the "
+            "SLO view (objectives, burn alerts, hot-key tables)"
+        ),
+    )
+    parser.add_argument(
         "--governed",
         action="store_true",
         help="enable per-tenant admission control (throttle/shed events)",
@@ -149,7 +163,7 @@ def main(argv: list | None = None) -> int:
         print("--writes must be >= 1", file=sys.stderr)
         return 2
     from repro.obsv.bundle import diagnostics_bundle, validate_bundle
-    from repro.obsv.cat import cat_events
+    from repro.obsv.cat import cat_events, cat_hotkeys, cat_slo
     from repro.obsv.dashboard import cluster_snapshot, render_dashboard
 
     db = build_demo(
@@ -157,6 +171,7 @@ def main(argv: list | None = None) -> int:
         writes=args.writes,
         governed=args.governed,
         chaos=args.chaos,
+        slo=args.slo,
     )
     if args.bundle is not None:
         bundle = diagnostics_bundle(db)
@@ -176,6 +191,19 @@ def main(argv: list | None = None) -> int:
         return 0
     if args.events:
         print(cat_events(db, kind=args.kind, tenant=args.tenant).render())
+        return 0
+    if args.slo and not args.json:
+        lines = ["== slo objectives ==", cat_slo(db).render()]
+        if db.slo is not None and db.slo.alerts:
+            lines.append("== burn alerts ==")
+            lines += [
+                f"  {alert.kind} {alert.slo} @ t={alert.time:.2f} "
+                f"burn={alert.fast_burn:.2f}/{alert.slow_burn:.2f} "
+                f"budget={alert.budget_remaining_pct:.1f}%"
+                for alert in db.slo.alerts
+            ]
+        lines += ["== heavy hitters ==", cat_hotkeys(db, k=5).render()]
+        print("\n".join(lines))
         return 0
     if args.json:
         print(json.dumps(cluster_snapshot(db), indent=2, sort_keys=True))

@@ -17,7 +17,8 @@ from repro.obsv.dashboard import cluster_snapshot
 from repro.telemetry.events import EVENT_KINDS
 
 #: Bumped whenever a required key is added/renamed; validators pin it.
-BUNDLE_SCHEMA_VERSION = 1
+#: v2 added the always-present ``slo`` / ``hotkeys`` sections.
+BUNDLE_SCHEMA_VERSION = 2
 
 #: Top-level keys every bundle must carry, with their required types.
 _REQUIRED_KEYS: dict[str, type] = {
@@ -30,6 +31,8 @@ _REQUIRED_KEYS: dict[str, type] = {
     "faults": list,
     "traces": list,
     "tracing": dict,
+    "slo": dict,
+    "hotkeys": dict,
 }
 
 #: Maximum finished traces serialised into a bundle.
@@ -58,6 +61,27 @@ def _tracing_summary(db) -> dict:
     }
 
 
+def _slo_section(db) -> dict:
+    """The bundle's ``slo`` section — always present, well-formed empty
+    when SLO tracking is disabled (consumers never need a presence check)."""
+    engine = getattr(db, "slo", None)
+    if engine is None:
+        return {"enabled": False, "evaluations": 0, "objectives": [],
+                "alerts": []}
+    return engine.snapshot()
+
+
+def _hotkeys_section(db) -> dict:
+    """The bundle's ``hotkeys`` section — always present, well-formed
+    empty when the heavy-hitter profiler is disabled."""
+    profiler = getattr(db, "hotkeys", None)
+    if profiler is None:
+        return {"enabled": False, "sketch_capacity": 0, "decays": 0,
+                "dropped_tenants": 0, "concentration_pct": 0.0,
+                "shards": {}, "tenants": {}}
+    return profiler.snapshot()
+
+
 def diagnostics_bundle(db) -> dict:
     """One JSON-ready flight recording of *db*'s observable state."""
     events = getattr(db, "events", None)
@@ -75,6 +99,8 @@ def diagnostics_bundle(db) -> dict:
         "faults": cat_faults(db).to_dicts(),
         "traces": _trace_dicts(db),
         "tracing": _tracing_summary(db),
+        "slo": _slo_section(db),
+        "hotkeys": _hotkeys_section(db),
     }
 
 
@@ -97,10 +123,12 @@ def validate_bundle(bundle) -> list[str]:
     if problems:
         return problems
     if bundle["schema_version"] != BUNDLE_SCHEMA_VERSION:
-        problems.append(
-            f"schema_version {bundle['schema_version']} != "
-            f"{BUNDLE_SCHEMA_VERSION}"
-        )
+        # An unknown version means the remaining rules don't apply: reject
+        # clearly and immediately rather than piling on misleading lint.
+        return [
+            f"unknown schema_version {bundle['schema_version']}: this "
+            f"validator understands version {BUNDLE_SCHEMA_VERSION} only"
+        ]
     if bundle["kind"] != "esdb-diagnostics":
         problems.append(f"kind must be 'esdb-diagnostics', got {bundle['kind']!r}")
     for section in ("nodes", "shards", "tenants", "totals"):
@@ -124,4 +152,41 @@ def validate_bundle(bundle) -> list[str]:
     for key in ("enabled", "sampler", "traces_started"):
         if key not in tracing:
             problems.append(f"tracing section missing {key!r}")
+    slo = bundle["slo"]
+    if "enabled" not in slo:
+        problems.append("slo section missing 'enabled'")
+    elif slo["enabled"]:
+        for key in ("evaluations", "objectives", "alerts"):
+            if key not in slo:
+                problems.append(f"slo section missing {key!r}")
+        for index, objective in enumerate(slo.get("objectives", [])):
+            if not isinstance(objective, dict) or "slo" not in objective:
+                problems.append(f"slo objectives[{index}] is not an objective dict")
+            elif not 0.0 < objective.get("objective", 0.0) < 1.0:
+                problems.append(
+                    f"slo objectives[{index}] target must be in (0, 1)"
+                )
+        for index, alert in enumerate(slo.get("alerts", [])):
+            if not isinstance(alert, dict) or alert.get("kind") not in (
+                "slo_burn", "slo_recovered",
+            ):
+                problems.append(f"slo alerts[{index}] has an unknown kind")
+    hotkeys = bundle["hotkeys"]
+    if "enabled" not in hotkeys:
+        problems.append("hotkeys section missing 'enabled'")
+    elif hotkeys["enabled"]:
+        for key in ("sketch_capacity", "dropped_tenants", "shards", "tenants"):
+            if key not in hotkeys:
+                problems.append(f"hotkeys section missing {key!r}")
+        for dimension in ("routing_keys", "filter_terms", "query_fingerprints"):
+            sketch = hotkeys.get(dimension)
+            if not isinstance(sketch, dict) or "top" not in sketch:
+                problems.append(f"hotkeys section missing sketch {dimension!r}")
+                continue
+            capacity = sketch.get("capacity", 0)
+            if sketch.get("tracked", 0) > capacity:
+                problems.append(
+                    f"hotkeys {dimension}: tracked exceeds capacity "
+                    f"{capacity} (sketch is not bounded)"
+                )
     return problems

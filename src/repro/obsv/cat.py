@@ -373,3 +373,59 @@ def cat_events(
     return CatTable(
         "events", ("at", "kind", "tenant", "trace_id", "shard", "detail"), rows
     )
+
+
+def cat_slo(db) -> CatTable:
+    """One row per declared service-level objective: good/bad totals,
+    error budget remaining, fast/slow burn rates, burn state and fired
+    burn-alert count.
+
+    Reads the :class:`~repro.slo.SloEngine` the facade owns as ``db.slo``;
+    an instance with SLO tracking disabled yields an empty, well-formed
+    table.
+    """
+    engine = getattr(db, "slo", None)
+    rows = []
+    if engine is not None:
+        for status in engine.status():
+            rows.append(
+                (
+                    status["slo"],
+                    status["op"],
+                    status["kind"],
+                    status["tenant"] if status["tenant"] is not None else "*",
+                    status["objective"],
+                    status["good"],
+                    status["bad"],
+                    round(status["budget_remaining_pct"], 2),
+                    round(status["fast_burn"], 3),
+                    round(status["slow_burn"], 3),
+                    status["state"],
+                    status["burn_alerts"],
+                )
+            )
+    return CatTable(
+        "slo",
+        ("slo", "op", "kind", "tenant", "objective", "good", "bad",
+         "budget_pct", "fast_burn", "slow_burn", "state", "alerts"),
+        rows,
+    )
+
+
+def cat_hotkeys(db, k: int | None = None) -> CatTable:
+    """Heavy-hitter table: the top-*k* hot routing keys, filter terms and
+    query fingerprints per scope (global, per shard, per tenant), each
+    estimate paired with its Space-Saving count-error bound (the true
+    count lies in ``[count - error, count]``).
+
+    Reads the :class:`~repro.slo.HeavyHitterProfiler` the facade owns as
+    ``db.hotkeys``; an instance without profiling yields an empty,
+    well-formed table.
+    """
+    profiler = getattr(db, "hotkeys", None)
+    rows = profiler.table_rows(k) if profiler is not None else []
+    return CatTable(
+        "hotkeys",
+        ("dimension", "scope", "subject", "rank", "key", "count", "error"),
+        rows,
+    )

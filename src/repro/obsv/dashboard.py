@@ -13,9 +13,11 @@ from repro.obsv.cat import (
     _engine_docs,
     cat_caches,
     cat_exec,
+    cat_hotkeys,
     cat_nodes,
     cat_rules,
     cat_shards,
+    cat_slo,
     cat_tenants,
 )
 from repro.telemetry.timeseries import DASHBOARD_SERIES, sparkline
@@ -125,6 +127,38 @@ def render_dashboard(db) -> str:
                 f"{totals['demotions']} demotion(s)"
             ),
         ]
+    slo_engine = getattr(db, "slo", None)
+    if slo_engine is not None:
+        sections += ["", "-- slo --", cat_slo(db).render()]
+        store = getattr(db, "timeseries", None)
+        if store is not None:
+            for label, name in (
+                ("budget min %", "slo.budget_min_pct"),
+                ("burn fast max", "slo.burn_fast_max"),
+                ("burn slow max", "slo.burn_slow_max"),
+            ):
+                series = store.get(name)
+                if series is None or not len(series):
+                    continue
+                summary = series.summary()
+                sections.append(
+                    f"  {label:<14} {sparkline(series.values(), width=40)} "
+                    f"last={summary['last']:.3f}"
+                )
+        for alert in slo_engine.recent_alerts(5):
+            sections.append(
+                f"  {alert.kind} {alert.slo} @ t={alert.time:.2f} "
+                f"burn={alert.fast_burn:.2f}/{alert.slow_burn:.2f} "
+                f"budget={alert.budget_remaining_pct:.1f}%"
+            )
+    profiler = getattr(db, "hotkeys", None)
+    if profiler is not None:
+        sections += ["", "-- heavy hitters --"]
+        hot_table = cat_hotkeys(db, k=3)
+        if len(hot_table):
+            sections.append(hot_table.render())
+        else:
+            sections.append("  (no traffic profiled)")
     sections += ["", "-- caches --", cat_caches(db).render()]
     exec_table = cat_exec(db)
     if len(exec_table):
@@ -210,6 +244,14 @@ def cluster_snapshot(db) -> dict:
     else:
         # Well-formed empty section, mirroring the timeseries convention.
         snapshot["events"] = {"counts": {}, "total": 0, "recent": []}
+    slo_engine = getattr(db, "slo", None)
+    if slo_engine is not None:
+        # Only present on an SLO-enabled instance, mirroring the tenancy
+        # and exec sections: absent means "not in play", never "broken".
+        snapshot["slo"] = slo_engine.snapshot()
+    profiler = getattr(db, "hotkeys", None)
+    if profiler is not None:
+        snapshot["hotkeys"] = profiler.snapshot()
     if observer is not None:
         snapshot["obsv"] = observer.snapshot()
     return snapshot

@@ -64,6 +64,11 @@ class Observer:
         #: Alerts raised by the most recent :meth:`roll` — the batch the
         #: facade hands to the tenant governor's governance policy.
         self.last_alerts: list = []
+        #: Optional alert attribution callback ``alert -> dict``: extra
+        #: measurement entries merged into every fired alert (the facade
+        #: installs the heavy-hitter profiler here, upgrading "tenant X is
+        #: hot" to "tenant X is hot *because of these keys and queries*").
+        self.attributor = None
         self._metrics = metrics
         if metrics is not None:
             metrics.set_help(
@@ -146,6 +151,10 @@ class Observer:
         )
         self.last_alerts = list(fresh)
         for alert in fresh:
+            if self.attributor is not None:
+                # Alert is frozen but its measurement dict is shared state
+                # by design: attribution enriches it in place.
+                alert.measurement.update(self.attributor(alert))
             self.alerts.append(alert)
             if self._metrics is not None:
                 self._metrics.counter("obsv_alerts_total", kind=alert.kind).inc()

@@ -1,0 +1,30 @@
+"""repro.slo — service-level objectives and heavy-hitter attribution.
+
+Two cooperating surfaces, both off by default and both deterministic on
+the logical clock:
+
+* :class:`SloEngine` — declarative per-operation / per-tenant objectives
+  with rolling-window error budgets and Google-SRE multi-window burn-rate
+  alerts (``slo_burn`` / ``slo_recovered`` events).
+* :class:`HeavyHitterProfiler` — bounded Space-Saving sketches naming the
+  hot routing keys, filter terms and query fingerprints per shard and per
+  tenant, with count-error bounds on every estimate.
+"""
+
+from repro.slo.config import SLO_KINDS, SLO_OPS, SloConfig, SloObjective
+from repro.slo.engine import BurnAlert, SloEngine
+from repro.slo.profiler import HOTKEY_DIMENSIONS, HeavyHitterProfiler
+from repro.slo.sketch import SpaceSavingSketch, rank_top_k
+
+__all__ = [
+    "SLO_KINDS",
+    "SLO_OPS",
+    "SloConfig",
+    "SloObjective",
+    "BurnAlert",
+    "SloEngine",
+    "HOTKEY_DIMENSIONS",
+    "HeavyHitterProfiler",
+    "SpaceSavingSketch",
+    "rank_top_k",
+]

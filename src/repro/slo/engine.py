@@ -1,0 +1,326 @@
+"""The SLO engine: rolling-window objectives, error budgets, burn alerts.
+
+Every completed operation (or deterministic failure — a throttle, a shed)
+is classified against each matching :class:`~repro.slo.SloObjective` as
+*good* or *bad* and accumulated into logical-clock buckets. At each
+evaluation tick the engine computes the burn rate — the bad fraction as a
+multiple of the error budget — over the Google-SRE fast/slow window pair
+and walks a per-objective alert state machine: both windows over the
+threshold fires one ``slo_burn``; the fast window dropping back under it
+fires ``slo_recovered``. Evaluation happens only at logical-clock ticks
+(``maybe_evaluate(now)``), so for a seeded workload the firing ticks are
+identical run-over-run and across exec backends.
+
+Nothing here reads the wall clock or any RNG: with deterministic inputs
+(logical timestamps, deterministic outcomes) every number the engine
+produces is deterministic. Wall-clock latency SLIs are supported — they
+are honest measurements — but the determinism guarantees the tests pin
+ride on outcome-based (error-rate) objectives and logical thresholds.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.slo.config import SloConfig, SloObjective
+
+
+@dataclass(frozen=True)
+class BurnAlert:
+    """One burn-rate state transition, ready to become an event."""
+
+    time: float
+    kind: str  # "slo_burn" | "slo_recovered"
+    slo: str
+    tenant: str | None
+    fast_burn: float
+    slow_burn: float
+    budget_remaining_pct: float
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "kind": self.kind,
+            "slo": self.slo,
+            "tenant": self.tenant,
+            "fast_burn": self.fast_burn,
+            "slow_burn": self.slow_burn,
+            "budget_remaining_pct": self.budget_remaining_pct,
+        }
+
+
+class _ObjectiveState:
+    """Tracking state for one objective: buckets, totals, alert phase."""
+
+    __slots__ = (
+        "objective", "buckets", "bucket_start", "bucket_good", "bucket_bad",
+        "total_good", "total_bad", "burning", "burn_count",
+        "fast_burn", "slow_burn",
+    )
+
+    def __init__(self, objective: SloObjective, max_buckets: int) -> None:
+        self.objective = objective
+        #: Closed buckets: (start_time, good, bad), oldest first.
+        self.buckets: deque = deque(maxlen=max_buckets)
+        self.bucket_start: float | None = None
+        self.bucket_good = 0
+        self.bucket_bad = 0
+        self.total_good = 0
+        self.total_bad = 0
+        self.burning = False
+        self.burn_count = 0
+        self.fast_burn = 0.0
+        self.slow_burn = 0.0
+
+    def budget_remaining_pct(self) -> float:
+        total = self.total_good + self.total_bad
+        if total == 0:
+            return 100.0
+        consumed = (self.total_bad / total) / self.objective.budget
+        return 100.0 * (1.0 - consumed)
+
+
+class SloEngine:
+    """Rolling-window SLO evaluation with multi-window burn-rate alerts."""
+
+    def __init__(self, config: SloConfig | None = None, metrics=None) -> None:
+        self.config = config or SloConfig(enabled=True)
+        max_buckets = (
+            int(math.ceil(self.config.slow_window_seconds
+                          / self.config.bucket_seconds)) + 1
+        )
+        self._states = [
+            _ObjectiveState(objective, max_buckets)
+            for objective in self.config.objectives
+        ]
+        #: Hot-path index: record() only walks the states matching its op.
+        self._states_by_op: dict[str, list] = {}
+        for state in self._states:
+            self._states_by_op.setdefault(state.objective.op, []).append(state)
+        #: Burn/recover transitions, oldest first (bounded ring).
+        self.alerts: deque = deque(maxlen=64)
+        self.evaluations = 0
+        self._next_evaluation: float | None = None
+        self._metrics = metrics
+        if metrics is not None:
+            metrics.set_help(
+                "slo_budget_remaining_pct",
+                "Error budget remaining per objective, percent (repro.slo)",
+            )
+            metrics.set_help(
+                "slo_burn_rate",
+                "Error-budget burn rate per objective and window (repro.slo)",
+            )
+            metrics.set_help(
+                "slo_good_total", "Good operations per objective (repro.slo)"
+            )
+            metrics.set_help(
+                "slo_bad_total", "Bad operations per objective (repro.slo)"
+            )
+            metrics.set_help(
+                "slo_burn_alerts_total",
+                "slo_burn transitions fired per objective (repro.slo)",
+            )
+
+    # -- recording ---------------------------------------------------------
+    def record(
+        self,
+        op: str,
+        tenant: object | None,
+        elapsed: float,
+        now: float,
+        error: bool = False,
+    ) -> None:
+        """Classify one finished operation against every matching
+        objective. Errored operations count against ``error_rate``
+        objectives and produce no latency sample (a shed write has no
+        meaningful service time)."""
+        states = self._states_by_op.get(op)
+        if not states:
+            return
+        bucket = self.config.bucket_seconds
+        start = (now // bucket) * bucket
+        for state in states:
+            objective = state.objective
+            if objective.tenant is not None and (
+                tenant is None or str(tenant) != objective.tenant
+            ):
+                continue
+            if objective.kind == "latency":
+                if error:
+                    continue
+                bad = elapsed > objective.threshold_seconds
+            else:
+                bad = error
+            self._accumulate(state, start, bad)
+
+    @staticmethod
+    def _accumulate(state: _ObjectiveState, start: float, bad: bool) -> None:
+        if state.bucket_start is None:
+            state.bucket_start = start
+        elif start > state.bucket_start:
+            state.buckets.append(
+                (state.bucket_start, state.bucket_good, state.bucket_bad)
+            )
+            state.bucket_start = start
+            state.bucket_good = 0
+            state.bucket_bad = 0
+        if bad:
+            state.bucket_bad += 1
+            state.total_bad += 1
+        else:
+            state.bucket_good += 1
+            state.total_good += 1
+
+    # -- evaluation --------------------------------------------------------
+    def due(self, now: float) -> bool:
+        return self._next_evaluation is None or now >= self._next_evaluation
+
+    def maybe_evaluate(self, now: float) -> list[BurnAlert]:
+        """Evaluate iff *now* reached the next evaluation boundary; the
+        first call anchors the schedule (mirrors ``TimeSeriesStore``)."""
+        if not self.due(now):
+            return []
+        return self.evaluate(now)
+
+    def evaluate(self, now: float) -> list[BurnAlert]:
+        """One evaluation tick: recompute burn rates over both windows for
+        every objective, advance alert state machines, update gauges.
+        Returns the transitions fired at this tick."""
+        fired: list[BurnAlert] = []
+        threshold = self.config.burn_threshold
+        for state in self._states:
+            fast, fast_n = self._window_burn(
+                state, now, self.config.fast_window_seconds
+            )
+            slow, _ = self._window_burn(
+                state, now, self.config.slow_window_seconds
+            )
+            state.fast_burn = fast
+            state.slow_burn = slow
+            if not state.burning:
+                if fast_n and fast >= threshold and slow >= threshold:
+                    state.burning = True
+                    state.burn_count += 1
+                    fired.append(self._transition(state, now, "slo_burn"))
+            elif fast < threshold:
+                state.burning = False
+                fired.append(self._transition(state, now, "slo_recovered"))
+            self._export(state)
+        self.alerts.extend(fired)
+        self.evaluations += 1
+        self._next_evaluation = now + self.config.evaluation_interval_seconds
+        return fired
+
+    def _window_burn(
+        self, state: _ObjectiveState, now: float, window: float
+    ) -> tuple[float, int]:
+        """Burn rate and sample count over the buckets inside ``(now -
+        window, now]``, the still-open bucket included."""
+        cutoff = now - window
+        good = bad = 0
+        for start, bucket_good, bucket_bad in state.buckets:
+            if start + self.config.bucket_seconds > cutoff:
+                good += bucket_good
+                bad += bucket_bad
+        if state.bucket_start is not None and (
+            state.bucket_start + self.config.bucket_seconds > cutoff
+        ):
+            good += state.bucket_good
+            bad += state.bucket_bad
+        total = good + bad
+        if total == 0:
+            return 0.0, 0
+        return (bad / total) / state.objective.budget, total
+
+    def _transition(
+        self, state: _ObjectiveState, now: float, kind: str
+    ) -> BurnAlert:
+        return BurnAlert(
+            time=now,
+            kind=kind,
+            slo=state.objective.name,
+            tenant=state.objective.tenant,
+            fast_burn=state.fast_burn,
+            slow_burn=state.slow_burn,
+            budget_remaining_pct=state.budget_remaining_pct(),
+        )
+
+    def _export(self, state: _ObjectiveState) -> None:
+        metrics = self._metrics
+        if metrics is None:
+            return
+        name = state.objective.name
+        metrics.gauge("slo_budget_remaining_pct", slo=name).set(
+            state.budget_remaining_pct()
+        )
+        metrics.gauge("slo_burn_rate", slo=name, window="fast").set(
+            state.fast_burn
+        )
+        metrics.gauge("slo_burn_rate", slo=name, window="slow").set(
+            state.slow_burn
+        )
+        metrics.gauge("slo_good_total", slo=name).set(state.total_good)
+        metrics.gauge("slo_bad_total", slo=name).set(state.total_bad)
+        metrics.gauge("slo_burn_alerts_total", slo=name).set(state.burn_count)
+
+    # -- introspection -----------------------------------------------------
+    def status(self) -> list[dict]:
+        """One dict per objective, in declaration order — the ``cat_slo``
+        rows and the bundle's ``slo.objectives`` entries."""
+        rows = []
+        for state in self._states:
+            objective = state.objective
+            rows.append(
+                {
+                    "slo": objective.name,
+                    "op": objective.op,
+                    "kind": objective.kind,
+                    "tenant": objective.tenant,
+                    "objective": objective.objective,
+                    "good": state.total_good,
+                    "bad": state.total_bad,
+                    "budget_remaining_pct": state.budget_remaining_pct(),
+                    "fast_burn": state.fast_burn,
+                    "slow_burn": state.slow_burn,
+                    "state": "burning" if state.burning else "ok",
+                    "burn_alerts": state.burn_count,
+                }
+            )
+        return rows
+
+    def recent_alerts(self, n: int = 10) -> list[BurnAlert]:
+        alerts = list(self.alerts)
+        return alerts[-n:] if n < len(alerts) else alerts
+
+    def report_lines(self) -> list[str]:
+        """The ``slo`` section of ``ESDB.stats_report()``."""
+        lines = [
+            f"slo: {len(self._states)} objective(s), "
+            f"{self.evaluations} evaluation(s), "
+            f"{sum(s.burn_count for s in self._states)} burn alert(s)"
+        ]
+        for row in self.status():
+            scope = f" tenant={row['tenant']}" if row["tenant"] else ""
+            lines.append(
+                f"  {row['slo']}: {row['op']}/{row['kind']}{scope} "
+                f"target={row['objective']:.3f} good={row['good']} "
+                f"bad={row['bad']} budget={row['budget_remaining_pct']:.1f}% "
+                f"burn={row['fast_burn']:.2f}/{row['slow_burn']:.2f} "
+                f"[{row['state']}]"
+            )
+        return lines
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump (the bundle's ``slo`` section)."""
+        return {
+            "enabled": True,
+            "burn_threshold": self.config.burn_threshold,
+            "fast_window_seconds": self.config.fast_window_seconds,
+            "slow_window_seconds": self.config.slow_window_seconds,
+            "evaluations": self.evaluations,
+            "objectives": self.status(),
+            "alerts": [alert.to_dict() for alert in self.alerts],
+        }

@@ -1,0 +1,207 @@
+"""Heavy-hitter attribution: *which* keys, terms and queries are hot.
+
+``SkewWindow`` can say a tenant or shard is hot; this profiler names the
+routing keys, filter terms and query fingerprints doing it. One bounded
+:class:`~repro.slo.SpaceSavingSketch` per dimension globally, plus lazy
+per-shard sketches (routing keys) and bounded per-tenant sketch maps, all
+decayed on logical-clock window boundaries so the picture tracks *current*
+heat. Every estimate ships with its count-error bound, and the tenant maps
+are capped (``max_tracked_tenants``) so a tenant-id flood cannot grow
+memory — overflow tenants still count globally and per shard, and are
+tallied in ``dropped_tenants``.
+"""
+
+from __future__ import annotations
+
+from repro.slo.config import SloConfig
+from repro.slo.sketch import SpaceSavingSketch
+
+#: The profiled dimensions, in the order every table and snapshot uses.
+HOTKEY_DIMENSIONS = ("routing_key", "filter_term", "query_fingerprint")
+
+
+class HeavyHitterProfiler:
+    """Bounded per-shard / per-tenant heavy-hitter tracking."""
+
+    def __init__(self, config: SloConfig | None = None, metrics=None) -> None:
+        self.config = config or SloConfig(enabled=True)
+        capacity = self.config.sketch_capacity
+        self.routing_keys = SpaceSavingSketch(capacity)
+        self.filter_terms = SpaceSavingSketch(capacity)
+        self.query_fingerprints = SpaceSavingSketch(capacity)
+        self.shard_keys: dict[int, SpaceSavingSketch] = {}
+        self.tenant_keys: dict[str, SpaceSavingSketch] = {}
+        self.tenant_terms: dict[str, SpaceSavingSketch] = {}
+        self.tenant_fingerprints: dict[str, SpaceSavingSketch] = {}
+        self.dropped_tenants = 0
+        self.decays = 0
+        self._next_decay: float | None = None
+        self._conc_gauge = None
+        if metrics is not None:
+            metrics.set_help(
+                "slo_hotkey_concentration_pct",
+                "Top routing key's share of tracked writes, percent "
+                "(repro.slo)",
+            )
+            self._conc_gauge = metrics.gauge("slo_hotkey_concentration_pct")
+
+    # -- recording ---------------------------------------------------------
+    def record_write(self, tenant, shard_id: int, routing_key) -> None:
+        """Absorb one routed write: its routing key, globally, per shard
+        and (capacity permitting) per tenant."""
+        self.routing_keys.offer(routing_key)
+        shard_sketch = self.shard_keys.get(shard_id)
+        if shard_sketch is None:
+            shard_sketch = self.shard_keys[shard_id] = SpaceSavingSketch(
+                self.config.sketch_capacity
+            )
+        shard_sketch.offer(routing_key)
+        tenant_sketch = self._tenant_sketch(self.tenant_keys, tenant)
+        if tenant_sketch is not None:
+            tenant_sketch.offer(routing_key)
+
+    def export_gauges(self) -> None:
+        """Refresh the concentration gauge — called from the SLO
+        evaluation tick, not per write, to keep the write path lean."""
+        if self._conc_gauge is not None:
+            self._conc_gauge.set(100.0 * self.routing_keys.concentration())
+
+    def record_query(self, tenant, fingerprint: str, terms) -> None:
+        """Absorb one executed query: its fingerprint and each filter
+        term, globally and per tenant."""
+        self.query_fingerprints.offer(fingerprint)
+        tenant_fp = self._tenant_sketch(self.tenant_fingerprints, tenant)
+        if tenant_fp is not None:
+            tenant_fp.offer(fingerprint)
+        tenant_term = self._tenant_sketch(self.tenant_terms, tenant)
+        for term in terms:
+            self.filter_terms.offer(term)
+            if tenant_term is not None:
+                tenant_term.offer(term)
+
+    def _tenant_sketch(self, table: dict, tenant) -> SpaceSavingSketch | None:
+        if tenant is None:
+            return None
+        key = str(tenant)
+        sketch = table.get(key)
+        if sketch is not None:
+            return sketch
+        if len(table) >= self.config.max_tracked_tenants:
+            self.dropped_tenants += 1
+            return None
+        sketch = table[key] = SpaceSavingSketch(self.config.sketch_capacity)
+        return sketch
+
+    # -- decay -------------------------------------------------------------
+    def maybe_roll(self, now: float) -> bool:
+        """Decay every sketch once per ``decay_window_seconds`` of logical
+        time (0 disables decay). First call anchors the schedule."""
+        window = self.config.decay_window_seconds
+        if window <= 0:
+            return False
+        if self._next_decay is None:
+            self._next_decay = now + window
+            return False
+        if now < self._next_decay:
+            return False
+        factor = self.config.decay_factor
+        for sketch in self._all_sketches():
+            sketch.decay(factor)
+        self.decays += 1
+        self._next_decay = now + window
+        return True
+
+    def _all_sketches(self):
+        yield self.routing_keys
+        yield self.filter_terms
+        yield self.query_fingerprints
+        yield from self.shard_keys.values()
+        yield from self.tenant_keys.values()
+        yield from self.tenant_terms.values()
+        yield from self.tenant_fingerprints.values()
+
+    # -- attribution -------------------------------------------------------
+    def hot_keys_for_tenant(self, tenant, k: int = 3) -> list[tuple]:
+        sketch = self.tenant_keys.get(str(tenant))
+        return sketch.top(k) if sketch is not None else []
+
+    def hot_queries_for_tenant(self, tenant, k: int = 3) -> list[tuple]:
+        sketch = self.tenant_fingerprints.get(str(tenant))
+        return sketch.top(k) if sketch is not None else []
+
+    def hot_keys_for_shard(self, shard_id: int, k: int = 3) -> list[tuple]:
+        sketch = self.shard_keys.get(shard_id)
+        return sketch.top(k) if sketch is not None else []
+
+    # -- tables / snapshots ------------------------------------------------
+    def table_rows(self, k: int | None = None) -> list[tuple]:
+        """``cat_hotkeys`` rows: (dimension, scope, subject, rank, key,
+        count, error) — global rows first, then per-shard and per-tenant
+        scopes in sorted subject order. Fully deterministic."""
+        k = self.config.top_k if k is None else k
+        rows: list[tuple] = []
+
+        def extend(dimension: str, scope: str, subject: str,
+                   sketch: SpaceSavingSketch) -> None:
+            for rank, (key, count, error) in enumerate(sketch.top(k), 1):
+                rows.append(
+                    (dimension, scope, subject, rank, str(key),
+                     round(count, 3), round(error, 3))
+                )
+
+        extend("routing_key", "global", "-", self.routing_keys)
+        for shard_id in sorted(self.shard_keys):
+            extend("routing_key", "shard", str(shard_id),
+                   self.shard_keys[shard_id])
+        for tenant in sorted(self.tenant_keys):
+            extend("routing_key", "tenant", tenant, self.tenant_keys[tenant])
+        extend("filter_term", "global", "-", self.filter_terms)
+        for tenant in sorted(self.tenant_terms):
+            extend("filter_term", "tenant", tenant, self.tenant_terms[tenant])
+        extend("query_fingerprint", "global", "-", self.query_fingerprints)
+        for tenant in sorted(self.tenant_fingerprints):
+            extend("query_fingerprint", "tenant", tenant,
+                   self.tenant_fingerprints[tenant])
+        return rows
+
+    def report_lines(self) -> list[str]:
+        """The ``hotkeys`` section of ``ESDB.stats_report()``."""
+        lines = [
+            f"hotkeys: capacity={self.config.sketch_capacity} "
+            f"tenants={len(self.tenant_keys)} shards={len(self.shard_keys)} "
+            f"decays={self.decays} dropped_tenants={self.dropped_tenants}"
+        ]
+        for label, sketch in (
+            ("routing", self.routing_keys),
+            ("terms", self.filter_terms),
+            ("queries", self.query_fingerprints),
+        ):
+            top = sketch.top(3)
+            rendered = ", ".join(
+                f"{key}={count:.0f}(±{error:.0f})"
+                for key, count, error in top
+            )
+            lines.append(f"  {label}: {rendered if top else '(none)'}")
+        return lines
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump (the bundle's ``hotkeys`` section)."""
+        k = self.config.top_k
+        return {
+            "enabled": True,
+            "sketch_capacity": self.config.sketch_capacity,
+            "decays": self.decays,
+            "dropped_tenants": self.dropped_tenants,
+            "concentration_pct": 100.0 * self.routing_keys.concentration(),
+            "routing_keys": self.routing_keys.to_dict(k),
+            "filter_terms": self.filter_terms.to_dict(k),
+            "query_fingerprints": self.query_fingerprints.to_dict(k),
+            "shards": {
+                str(shard_id): self.shard_keys[shard_id].to_dict(k)
+                for shard_id in sorted(self.shard_keys)
+            },
+            "tenants": {
+                tenant: self.tenant_keys[tenant].to_dict(k)
+                for tenant in sorted(self.tenant_keys)
+            },
+        }

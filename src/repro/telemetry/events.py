@@ -32,6 +32,8 @@ EVENT_KINDS = (
     "promotion",
     "slow_query",
     "rule_commit",
+    "slo_burn",
+    "slo_recovered",
 )
 
 

@@ -255,6 +255,42 @@ class HistogramQuantile(Derivation):
         return [(self.series, max(h.quantile(self.q) for h in histograms) * self.scale)]
 
 
+class GaugeAggregate(Derivation):
+    """Min or max of a labeled gauge's current values, optionally
+    restricted to series matching fixed labels.
+
+    ``GaugeAggregate("slo.budget_min_pct", "slo_budget_remaining_pct",
+    agg="min")`` emits the *worst* objective's remaining error budget each
+    interval — the headline number an SLO dashboard tracks. Emits nothing
+    when the gauge was never registered (SLO tracking off), keeping a
+    disabled instance's history empty like every other derivation.
+    """
+
+    def __init__(self, series: str, metric: str, agg: str = "max",
+                 match: dict | None = None) -> None:
+        if agg not in ("min", "max"):
+            raise ConfigurationError("agg must be 'min' or 'max'")
+        self.series = series
+        self.metric = metric
+        self._agg = min if agg == "min" else max
+        self.match = dict(match or {})
+
+    def compute(self, registry, now, elapsed):
+        if registry.label_cardinality(self.metric) == 0:
+            return []
+        values = [
+            metric.value
+            for metric in registry.series(self.metric)
+            if all(
+                metric.labels.get(key) == value
+                for key, value in self.match.items()
+            )
+        ]
+        if not values:
+            return []
+        return [(self.series, float(self._agg(values)))]
+
+
 class LabelSpread(Derivation):
     """Max and mean of a labeled counter's per-interval deltas.
 
@@ -477,6 +513,25 @@ def install_esdb_derivations(store: TimeSeriesStore) -> TimeSeriesStore:
     store.add_derivation(
         CounterRate("exec.shared_saved_per_s", "exec_shared_saved_total")
     )
+    # SLO series: the slo_* gauges only exist on an SLO-enabled instance,
+    # so everything else emits nothing here. Budget is aggregated as the
+    # *minimum* (the worst objective is the headline); burn rates as the
+    # maximum per window.
+    store.add_derivation(
+        GaugeAggregate("slo.budget_min_pct", "slo_budget_remaining_pct", agg="min")
+    )
+    store.add_derivation(
+        GaugeAggregate(
+            "slo.burn_fast_max", "slo_burn_rate", agg="max",
+            match={"window": "fast"},
+        )
+    )
+    store.add_derivation(
+        GaugeAggregate(
+            "slo.burn_slow_max", "slo_burn_rate", agg="max",
+            match={"window": "slow"},
+        )
+    )
     return store
 
 
@@ -495,4 +550,8 @@ DASHBOARD_SERIES = (
     ("shed/s", "tenancy.shed_per_s"),
     ("exec tasks/s", "exec.tasks_per_s"),
     ("bulk docs/s", "exec.bulk_docs_per_s"),
+    ("budget min %", "slo.budget_min_pct"),
+    ("burn fast max", "slo.burn_fast_max"),
+    ("burn slow max", "slo.burn_slow_max"),
+    ("hot key conc %", "slo_hotkey_concentration_pct"),
 )

@@ -35,6 +35,7 @@ QUICK_SET = [
     "tenancy.qos_ordering",
     "exec.shared_scan",
     "trace.overhead",
+    "slo.overhead",
 ]
 
 

@@ -26,6 +26,17 @@ class TestFrequencyTracker:
         tracker.record_write(["y"])
         assert "y" in tracker.top_k(1)
 
+    def test_tie_break_is_name_ascending(self):
+        """Regression: full ties must resolve to the lexicographically
+        smallest names. The old implementation sorted names descending,
+        so top_k(2) over three equal attributes picked {beta, gamma}."""
+        tracker = FrequencyTracker()
+        for name in ("gamma", "alpha", "beta"):
+            tracker.record_query([name])
+            tracker.record_write([name])
+        assert tracker.top_k(2) == {"alpha", "beta"}
+        assert tracker.top_k(1) == {"alpha"}
+
     def test_top_zero_empty(self):
         tracker = FrequencyTracker()
         tracker.record_query(["a"])
