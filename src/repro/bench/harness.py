@@ -32,6 +32,7 @@ SCHEMA_VERSION = 1
 #: The scenario families the suite must span (acceptance floor).
 FAMILIES = (
     "write", "query", "storage", "sim", "chaos", "tenancy", "exec", "trace", "slo",
+    "workload",
 )
 
 

@@ -21,7 +21,11 @@ Five families, mirroring the paper's evaluation axes plus fault tolerance:
   per-document loop, scatter-gather fan-out latency by shard count and
   backend, and shared-scan query coalescing;
 * ``trace.*`` — request-scoped distributed tracing: the write-path cost
-  of trace ids, spans, events and exemplars vs. ``TraceConfig.off()``.
+  of trace ids, spans, events and exemplars vs. ``TraceConfig.off()``;
+* ``workload.*`` — arrival-process realism: generation rate of the
+  Poisson/bursty/diurnal streams (with exact event-count tripwires), and
+  end-to-end replay of a recorded bursty + churn v2 trace through the
+  bulk write path.
 
 Every scenario accepts ``quick`` (reduced iteration counts for CI smoke
 runs and tests) and returns the standard throughput + p50/p95/p99 metric
@@ -975,4 +979,128 @@ def slo_overhead(quick: bool) -> ScenarioResult:
         meta={"writes": count, "rounds": rounds, "bound_pct": bound_pct,
               "slo_overhead_pct": overhead_pct,
               "slo_evaluations": tracked_evals},
+    )
+
+
+# -- workload family ----------------------------------------------------------
+
+
+@scenario("workload.arrivals", "workload",
+          "drain the Poisson, bursty (MMPP on/off) and diurnal-thinning "
+          "arrival streams; wall events/s measures generator cost while the "
+          "exact per-stream event counts are deterministic tripwires")
+def workload_arrivals(quick: bool) -> ScenarioResult:
+    from repro.workload.arrivals import (
+        ArrivalStats,
+        BurstyProcess,
+        DiurnalRate,
+        PoissonProcess,
+    )
+
+    duration = 20.0 if quick else 60.0
+    rate = 300.0 if quick else 1000.0
+    processes = {
+        "poisson": PoissonProcess(rate, duration=duration, seed=1),
+        "bursty": BurstyProcess(
+            rate,
+            duration=duration,
+            off_rate=rate * 0.05,
+            mean_on_seconds=2.0,
+            mean_off_seconds=3.0,
+            seed=2,
+        ),
+        "diurnal": PoissonProcess(
+            DiurnalRate(rate, amplitude=0.7, period=duration),
+            duration=duration,
+            seed=3,
+        ),
+    }
+    counts: dict[str, int] = {}
+    burstiness: dict[str, float] = {}
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for name, process in processes.items():
+            stats = ArrivalStats()
+            for t in process.times():
+                stats.record(t)
+            counts[name] = stats.count
+            burstiness[name] = stats.burstiness
+        elapsed = time.perf_counter() - start
+    finally:
+        gc.enable()
+    total = sum(counts.values())
+    metrics = {
+        "events_per_s": Metric(total / elapsed if elapsed else 0.0, "events/s",
+                               "higher"),
+        # Exact tripwires: the streams are seed-driven, so any drift in the
+        # generators shows up as a count change against the baseline.
+        "poisson_events": Metric(float(counts["poisson"]), "events", "higher"),
+        "bursty_events": Metric(float(counts["bursty"]), "events", "higher"),
+        "diurnal_events": Metric(float(counts["diurnal"]), "events", "higher"),
+    }
+    return ScenarioResult(
+        metrics,
+        meta={"duration": duration, "rate": rate, "burstiness": burstiness},
+    )
+
+
+@scenario("workload.replay", "workload",
+          "record a short bursty + flash-tenant-churn v2 trace, then replay "
+          "it into a fresh instance through the batched bulk path with the "
+          "clock following the recorded arrival timestamps")
+def workload_replay(quick: bool) -> ScenarioResult:
+    import tempfile
+    from pathlib import Path
+
+    from repro.workload.arrivals import BurstyProcess, TenantChurn
+    from repro.workload.generator import WorkloadConfig
+    from repro.workload.trace import replay_trace, write_trace
+
+    duration = 10.0 if quick else 30.0
+    rate = 120.0 if quick else 400.0
+    workload = WorkloadConfig(num_tenants=500, theta=1.0, seed=5)
+    arrival = BurstyProcess(
+        rate, duration=duration, off_rate=rate * 0.1,
+        mean_on_seconds=1.5, mean_off_seconds=1.5, seed=6,
+    )
+    churn = TenantChurn(
+        duration=duration, spawn_rate=0.5, mean_lifetime_seconds=3.0, seed=7
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench-trace.jsonl"
+        info = write_trace(
+            path, workload=workload, arrival=arrival, churn=churn
+        )
+        db = _bench_db()
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            stats = replay_trace(db, path)
+            elapsed = time.perf_counter() - start
+        finally:
+            gc.enable()
+        docs = db.doc_count()
+        db.close()
+    return ScenarioResult(
+        {
+            "replay_docs_per_s": Metric(
+                docs / elapsed if elapsed else 0.0, "docs/s", "higher"
+            ),
+            # Deterministic tripwires: the recorded stream and its churn
+            # schedule are seed-driven end to end.
+            "trace_docs": Metric(float(info.count or 0), "docs", "higher"),
+            "replayed_docs": Metric(float(docs), "docs", "higher"),
+            "peak_live_tenants": Metric(
+                float(stats.peak_live_tenants), "tenants", "higher"
+            ),
+        },
+        meta={
+            "duration": duration,
+            "rate": rate,
+            "burstiness": stats.burstiness,
+            "realized_rate": stats.realized_rate,
+        },
     )

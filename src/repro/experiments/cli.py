@@ -47,6 +47,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help=(
+            "a recorded workload trace (python -m repro.workload.trace) for "
+            "the experiments that support it (fig21 adds a row replaying "
+            "the trace's arrival stream through the simulator)"
+        ),
+    )
+    parser.add_argument(
         "--chart",
         type=int,
         metavar="COLUMN",
@@ -111,7 +121,9 @@ def main(argv: list | None = None) -> int:
     try:
         for figure in figures:
             start = time.perf_counter()
-            result = run(figure, scale=args.scale, tenancy=args.tenancy)
+            result = run(
+                figure, scale=args.scale, tenancy=args.tenancy, trace=args.trace
+            )
             elapsed = time.perf_counter() - start
             print(result.render())
             if args.chart is not None:

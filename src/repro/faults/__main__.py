@@ -105,6 +105,12 @@ def build_parser() -> argparse.ArgumentParser:
              "must not depend on the choice (default: serial)",
     )
     parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="drive the workload from a recorded trace file (v1 or v2, see "
+             "python -m repro.workload.trace) instead of the built-in Zipf "
+             "generator; the fault plan is scaled to the trace's length",
+    )
+    parser.add_argument(
         "--check-determinism", action="store_true",
         help="run the scenario twice and require identical report fingerprints",
     )
@@ -116,23 +122,36 @@ def build_parser() -> argparse.ArgumentParser:
 def _run(args):
     from repro.faults import ChaosConfig, ChaosRunner, FaultPlan
 
+    steps = args.steps
+    if args.trace is not None:
+        # Scale the plan to the trace so every scheduled fault actually
+        # fires inside the recorded workload.
+        from repro.workload.trace import read_trace_events
+
+        _, events = read_trace_events(args.trace)
+        steps = max(sum(1 for _ in events), 10)
     if args.scenario == "noisy-neighbor":
-        plan = build_noisy_neighbor_plan(args.seed, args.steps, args.shards)
+        plan = build_noisy_neighbor_plan(args.seed, steps, args.shards)
         config = noisy_neighbor_config(args)
+        if args.trace is not None:
+            from dataclasses import replace
+
+            config = replace(config, trace_path=args.trace)
     else:
         if args.scenario == "random":
             plan = FaultPlan.random(
-                args.seed, args.steps, args.nodes, args.shards,
+                args.seed, steps, args.nodes, args.shards,
                 intensity=args.intensity,
             )
         else:
-            plan = build_failover_plan(args.seed, args.steps, args.shards)
+            plan = build_failover_plan(args.seed, steps, args.shards)
         config = ChaosConfig(
-            steps=args.steps,
+            steps=steps,
             num_nodes=args.nodes,
             num_shards=args.shards,
             replicas_per_shard=args.replicas,
             exec_backend=args.exec,
+            trace_path=args.trace,
         )
     runner = ChaosRunner(plan, config)
     report = runner.run()

@@ -71,6 +71,13 @@ class ChaosConfig:
             (None uses the instance default, i.e. disabled). Like tracing,
             SLO tracking observes the workload without touching its RNG or
             clocks, so fingerprints must be bit-identical on or off.
+        trace_path: a recorded workload trace (v1 or v2, see
+            :mod:`repro.workload.trace`) to drive the run instead of the
+            built-in Zipf generator — one workload step per trace record,
+            the logical clock following the recorded arrival timestamps.
+            ``steps`` and ``time_step`` are ignored on trace runs (the
+            trace supplies both count and clock); None (the default) keeps
+            historical fingerprints bit-identical.
     """
 
     steps: int = 400
@@ -88,6 +95,7 @@ class ChaosConfig:
     exec_backend: str = "serial"
     tracing: object | None = None
     slo: object | None = None
+    trace_path: str | None = None
 
     def __post_init__(self) -> None:
         if self.steps < 1:
@@ -250,13 +258,31 @@ class ChaosRunner:
         self.generator = TransactionLogGenerator(
             WorkloadConfig(num_tenants=self.config.num_tenants, seed=plan.seed)
         )
+        # A recorded trace replaces the generator: load it eagerly so a
+        # malformed file fails construction, not step 137 of the run.
+        self._trace_events: list[tuple[float, dict]] | None = None
+        self._end_time = self.config.steps * self.config.time_step
+        if self.config.trace_path is not None:
+            from repro.workload.trace import read_trace_events
+
+            info, events = read_trace_events(self.config.trace_path)
+            self._trace_events = list(events)
+            if not self._trace_events:
+                raise ConfigurationError(
+                    f"trace {self.config.trace_path} has no documents"
+                )
+            self._end_time = info.duration
         schema = self.db.config.schema
         self._id_field = schema.id_field
         self._tenant_field = schema.tenant_field
         self.acked: dict[object, dict] = {}
         self.report = ChaosReport(
             seed=plan.seed,
-            steps=self.config.steps,
+            steps=(
+                len(self._trace_events)
+                if self._trace_events is not None
+                else self.config.steps
+            ),
             governed=self.db.governor is not None,
         )
 
@@ -288,12 +314,10 @@ class ChaosRunner:
     def run(self) -> ChaosReport:
         """Workload + faults, then full recovery and invariant checks."""
         config = self.config
-        for step in range(config.steps):
-            now = step * config.time_step
+        for step, (now, doc) in enumerate(self._steps()):
             self.db.advance_clock(now)
             for event in self.plan.events_at(step):
                 self._apply(event, now)
-            doc = self.generator.generate(created_time=now)
             self.client.submit(doc)
             self.report.writes_submitted += 1
             for _ in range(config.flood_factor):
@@ -317,6 +341,18 @@ class ChaosRunner:
         }
         self.report.violations = self.check_invariants()
         return self.report
+
+    def _steps(self):
+        """Yield ``(now, document)`` per workload step — from the recorded
+        trace when configured, else the built-in Zipf generator on the
+        fixed ``time_step`` grid."""
+        if self._trace_events is not None:
+            for now, doc in self._trace_events:
+                yield now, dict(doc)
+            return
+        for step in range(self.config.steps):
+            now = step * self.config.time_step
+            yield now, self.generator.generate(created_time=now)
 
     def _apply(self, event, now: float) -> None:
         if event.recover:
@@ -352,7 +388,7 @@ class ChaosRunner:
     # -- recovery -----------------------------------------------------------
     def recover(self) -> None:
         """Heal every fault and drain every retry path."""
-        now = self.config.steps * self.config.time_step
+        now = self._end_time
         self.db.advance_clock(now)
         self.client.flush()  # may dead-letter against still-active blackholes
         self.report.faults_recovered += self.injector.recover(at=now)

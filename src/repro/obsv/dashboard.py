@@ -151,6 +151,26 @@ def render_dashboard(db) -> str:
                 f"burn={alert.fast_burn:.2f}/{alert.slow_burn:.2f} "
                 f"budget={alert.budget_remaining_pct:.1f}%"
             )
+    arrivals = getattr(db, "arrivals", None)
+    if arrivals is not None:
+        quantiles = arrivals.interarrival_quantiles()
+        sections += [
+            "",
+            "-- workload arrivals --",
+            (
+                f"  {arrivals.count} arrivals @ {arrivals.realized_rate:.1f}/s, "
+                f"burstiness {arrivals.burstiness:+.2f}"
+            ),
+            (
+                f"  interarrival p50={quantiles['p50'] * 1000:.1f}ms "
+                f"p95={quantiles['p95'] * 1000:.1f}ms "
+                f"p99={quantiles['p99'] * 1000:.1f}ms"
+            ),
+            (
+                f"  live flash tenants {arrivals.live_tenants} "
+                f"(peak {arrivals.peak_live_tenants})"
+            ),
+        ]
     profiler = getattr(db, "hotkeys", None)
     if profiler is not None:
         sections += ["", "-- heavy hitters --"]
@@ -252,6 +272,9 @@ def cluster_snapshot(db) -> dict:
     profiler = getattr(db, "hotkeys", None)
     if profiler is not None:
         snapshot["hotkeys"] = profiler.snapshot()
+    arrivals = getattr(db, "arrivals", None)
+    if arrivals is not None:
+        snapshot["arrivals"] = arrivals.summary()
     if observer is not None:
         snapshot["obsv"] = observer.snapshot()
     return snapshot

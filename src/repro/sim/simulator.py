@@ -152,13 +152,25 @@ class WriteSimulation:
         self.timeseries = TimeSeriesStore(
             interval=self.config.tick_seconds, capacity=512
         )
+        #: Realized arrival statistics (set after ``run`` for scenarios
+        #: that carry an :class:`~repro.workload.arrivals.ArrivalStats`).
+        self.arrival_stats = None
 
     # -- main loop -----------------------------------------------------------
     def run(self) -> SimulationReport:
         """Run the scenario to completion; returns the steady-state report."""
+        live_count = getattr(self.scenario, "live_tenant_count", None)
         for tick in self.scenario.ticks():
             self.scenario.apply(self.generator, tick)
             self._step(tick.time, tick.rate)
+            if live_count is not None:
+                self.timeseries.record(
+                    "workload.live_tenants", tick.time, float(live_count(tick.time))
+                )
+        # Arrival-driven scenarios accumulate realized-stream statistics
+        # (interarrival quantiles, burstiness) as their ticks are drawn;
+        # surface them for reports and the dashboard.
+        self.arrival_stats = getattr(self.scenario, "stats", None)
         return self.metrics.report(warmup=self._warmup_seconds())
 
     def _warmup_seconds(self) -> float:
@@ -276,6 +288,7 @@ class WriteSimulation:
             node_cpu=node_cpu,
             shard_throughput=shard_fraction * admitted,
         )
+        self.timeseries.record("sim.offered_rate", now, rate)
         self.timeseries.record("sim.throughput", now, completed / cfg.tick_seconds)
         self.timeseries.record("sim.avg_delay", now, avg_delay)
         self.timeseries.record("sim.max_delay", now, max_delay)

@@ -30,6 +30,7 @@ class Tick:
     time: float
     rate: float
     hotspot_shift: int = 0  # rotate rank→tenant mapping by this much first
+    events: tuple = ()  # scenario-specific payloads (e.g. churn edges)
 
 
 class Scenario:
@@ -43,6 +44,19 @@ class Scenario:
 
     def ticks(self) -> Iterator[Tick]:
         raise NotImplementedError
+
+    def tick_times(self) -> Iterator[float]:
+        """Tick start times over [0, duration). Times are computed as
+        ``i * tick_seconds`` from an integer index — never accumulated —
+        so fractional tick lengths (0.1s) cannot drift and emit an
+        off-count tick or fire a scripted time a tick late."""
+        i = 0
+        while True:
+            t = i * self.tick_seconds
+            if t >= self.duration:
+                return
+            yield t
+            i += 1
 
     def apply(self, generator: TransactionLogGenerator, tick: Tick) -> None:
         """Apply a tick's side effects (hotspot remapping) to *generator*."""
@@ -60,10 +74,8 @@ class StaticScenario(Scenario):
         self.rate = rate
 
     def ticks(self) -> Iterator[Tick]:
-        t = 0.0
-        while t < self.duration:
+        for t in self.tick_times():
             yield Tick(time=t, rate=self.rate)
-            t += self.tick_seconds
 
 
 class HotspotShiftScenario(Scenario):
@@ -86,18 +98,23 @@ class HotspotShiftScenario(Scenario):
             raise ConfigurationError("rate must be positive")
         self.rate = rate
         self.shift_times = tuple(sorted(shift_times))
+        for shift_time in self.shift_times:
+            if shift_time < 0 or shift_time >= duration:
+                raise ConfigurationError(
+                    f"shift time {shift_time} unreachable in [0, {duration})"
+                )
         self.shift_amount = shift_amount
 
     def ticks(self) -> Iterator[Tick]:
         pending = list(self.shift_times)
-        t = 0.0
-        while t < self.duration:
+        for t in self.tick_times():
             shift = 0
-            if pending and t >= pending[0]:
+            # Every shift due by this tick fires now, summed — two scripted
+            # times landing in the same tick must not delay the second.
+            while pending and t >= pending[0]:
                 pending.pop(0)
-                shift = self.shift_amount
+                shift += self.shift_amount
             yield Tick(time=t, rate=self.rate, hotspot_shift=shift)
-            t += self.tick_seconds
 
 
 class SinglesDayScenario(Scenario):
@@ -126,6 +143,10 @@ class SinglesDayScenario(Scenario):
         super().__init__(duration, tick_seconds)
         if baseline_rate <= 0 or spike_factor < 1 or plateau_factor < 1:
             raise ConfigurationError("invalid spike parameters")
+        if not 0 <= spike_time < duration:
+            raise ConfigurationError(
+                f"spike_time {spike_time} must fall inside [0, {duration})"
+            )
         self.baseline_rate = baseline_rate
         self.spike_time = spike_time
         self.spike_factor = spike_factor
@@ -147,11 +168,9 @@ class SinglesDayScenario(Scenario):
 
     def ticks(self) -> Iterator[Tick]:
         shifted = False
-        t = 0.0
-        while t < self.duration:
+        for t in self.tick_times():
             shift = 0
             if not shifted and t >= self.spike_time:
                 shifted = True
                 shift = self.hotspot_shift  # promotions make new sellers hot
             yield Tick(time=t, rate=self.rate_at(t), hotspot_shift=shift)
-            t += self.tick_seconds

@@ -93,6 +93,23 @@ class ZipfSampler:
             )
         self._tenant_ids = list(tenant_ids)
 
+    def tenant_at(self, rank: int):
+        """Return the tenant id currently occupying 1-based *rank*."""
+        if not 1 <= rank <= self.num_tenants:
+            raise ConfigurationError(f"rank {rank} out of range")
+        if self._tenant_ids is None:
+            return rank
+        return self._tenant_ids[rank - 1]
+
+    def assign_rank(self, rank: int, tenant_id) -> None:
+        """Install *tenant_id* at 1-based *rank* (flash-tenant churn): the
+        new tenant inherits that rank's sampling weight until reassigned."""
+        if not 1 <= rank <= self.num_tenants:
+            raise ConfigurationError(f"rank {rank} out of range")
+        if self._tenant_ids is None:
+            self._tenant_ids = list(range(1, self.num_tenants + 1))
+        self._tenant_ids[rank - 1] = tenant_id
+
     def rotate_hotspots(self, shift: int) -> None:
         """Shift the rank→tenant mapping by *shift* positions so previously
         cold tenants become the new hot group."""

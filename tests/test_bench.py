@@ -36,6 +36,7 @@ QUICK_SET = [
     "exec.shared_scan",
     "trace.overhead",
     "slo.overhead",
+    "workload.arrivals",
 ]
 
 

@@ -180,6 +180,46 @@ class TestScenarios:
         with pytest.raises(ConfigurationError):
             SinglesDayScenario(baseline_rate=10, spike_factor=0.5)
 
+    def test_fractional_ticks_do_not_drift(self):
+        # Regression: `t += 0.1` accumulates binary-float error and can
+        # emit an off-count tick; the integer tick index must not.
+        ticks = list(StaticScenario(rate=10, duration=1.0, tick_seconds=0.1).ticks())
+        assert len(ticks) == 10
+        assert ticks[-1].time == pytest.approx(0.9)
+
+    def test_fractional_shift_time_fires_on_schedule(self):
+        # With drifting accumulation a scripted shift at t=2.0 could land a
+        # tick late at tick_seconds=0.1; the shift must fire at exactly 2.0.
+        scenario = HotspotShiftScenario(
+            rate=10, duration=4.0, shift_times=(2.0,), shift_amount=5,
+            tick_seconds=0.1,
+        )
+        shifts = [t.time for t in scenario.ticks() if t.hotspot_shift]
+        assert shifts == [pytest.approx(2.0)]
+
+    def test_two_shifts_in_same_tick_apply_summed(self):
+        # Regression: only one pending shift was popped per tick, silently
+        # delaying the second by a tick.
+        scenario = HotspotShiftScenario(
+            rate=10, duration=10.0, shift_times=(3.2, 3.7), shift_amount=5,
+            tick_seconds=1.0,
+        )
+        shifted = [t for t in scenario.ticks() if t.hotspot_shift]
+        assert len(shifted) == 1
+        assert shifted[0].time == pytest.approx(4.0)
+        assert shifted[0].hotspot_shift == 10
+
+    def test_unreachable_shift_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotspotShiftScenario(rate=10, duration=100.0, shift_times=(100.0,))
+        with pytest.raises(ConfigurationError):
+            HotspotShiftScenario(rate=10, duration=100.0, shift_times=(-1.0,))
+
+    def test_unreachable_spike_time_rejected(self):
+        # Regression: a spike_time >= duration silently never spiked.
+        with pytest.raises(ConfigurationError):
+            SinglesDayScenario(baseline_rate=10, duration=100.0, spike_time=100.0)
+
 
 @settings(max_examples=20)
 @given(
